@@ -1,0 +1,19 @@
+"""Extension (paper section 3.4): regions of optimality & plan elimination.
+
+Region shape statistics for all 15 plans and the greedy minimal plan
+set covering the space within a factor of 2.
+"""
+
+from repro.bench.figures import ext_optimality_regions
+
+from conftest import record
+
+
+def bench_ext_optimality_regions(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = ext_optimality_regions(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep is session-cached; the timed region is the figure analysis
+    # + rendering pipeline itself.
+    benchmark(lambda: ext_optimality_regions(session))

@@ -1,0 +1,19 @@
+"""Extension (paper sections 1 and 4): map-based regression testing.
+
+Losing the improved fetch strategy passes correctness tests but is
+flagged by the robustness-map diff.
+"""
+
+from repro.bench.figures import ext_regression_guard
+
+from conftest import record
+
+
+def bench_ext_regression_guard(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = ext_regression_guard(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep is session-cached; the timed region is the figure analysis
+    # + rendering pipeline itself.
+    benchmark(lambda: ext_regression_guard(session))

@@ -1,0 +1,18 @@
+"""Figure 3: the absolute-time color code.
+
+Six decade buckets from 0.001s to 1000s, green to red to black.
+"""
+
+from repro.bench.figures import figure03
+
+from conftest import record
+
+
+def bench_fig03_color_code_absolute(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = figure03(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep is session-cached; the timed region is the figure analysis
+    # + rendering pipeline itself.
+    benchmark(lambda: figure03(session))

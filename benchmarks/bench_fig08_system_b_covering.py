@@ -1,0 +1,19 @@
+"""Figure 8: System B's covering index + MVCC bitmap-sorted fetch.
+
+Near-optimal over a much larger region than Fig 7's plan, with a
+better worst-case quotient.
+"""
+
+from repro.bench.figures import figure08
+
+from conftest import record
+
+
+def bench_fig08_system_b_covering(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = figure08(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep is session-cached; the timed region is the figure analysis
+    # + rendering pipeline itself.
+    benchmark(lambda: figure08(session))

@@ -1,0 +1,19 @@
+"""Figure 9: System C's covering index + MDAM.
+
+Reasonable across the entire parameter space; optimal at some points;
+more robust than System B's fetch-bound plan.
+"""
+
+from repro.bench.figures import figure09
+
+from conftest import record
+
+
+def bench_fig09_system_c_mdam(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = figure09(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep is session-cached; the timed region is the figure analysis
+    # + rendering pipeline itself.
+    benchmark(lambda: figure09(session))

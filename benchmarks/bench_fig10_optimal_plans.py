@@ -1,0 +1,19 @@
+"""Figure 10: optimal plans per point.
+
+Most points have multiple optimal plans within 0.1s; tolerance
+sensitivity (1% / 20% / 2x).
+"""
+
+from repro.bench.figures import figure10
+
+from conftest import record
+
+
+def bench_fig10_optimal_plans(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = figure10(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep is session-cached; the timed region is the figure analysis
+    # + rendering pipeline itself.
+    benchmark(lambda: figure10(session))

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the engine's hot operations (real wall-clock).
+
+Unlike the figure benches (which regenerate the paper's diagrams on the
+*virtual* clock), these measure the real Python/NumPy cost of the
+substrate's hot paths — useful for keeping the simulator fast enough to
+sweep large grids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.executor import (
+    ADAPTIVE_PREFETCH,
+    ColumnRange,
+    ExecContext,
+    IndexRangeRidsNode,
+    MdamScanNode,
+    PlanRunner,
+    TableScanNode,
+)
+from repro.sim.profile import DeviceProfile
+from repro.storage import StorageEnv, Table
+
+N_ROWS = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def setup():
+    env = StorageEnv(DeviceProfile(), pool_pages=256)
+    rng = np.random.default_rng(0)
+    table = Table(
+        env,
+        "bench",
+        {
+            "a": rng.integers(0, 1 << 20, N_ROWS),
+            "b": rng.integers(0, 1 << 20, N_ROWS),
+            "val": rng.integers(0, 1000, N_ROWS),
+        },
+    )
+    table.create_index("idx_a", ["a"])
+    table.create_index("idx_ab", ["a", "b"])
+    return env, table
+
+
+def bench_btree_probe(setup, benchmark):
+    env, table = setup
+    tree = table.index("idx_a").tree
+    keys = table.column("a")
+    benchmark(lambda: tree.probe(int(keys[1234]), charge=False))
+
+
+def bench_btree_range_scan(setup, benchmark):
+    env, table = setup
+    index = table.index("idx_a")
+    lo, hi = index.key_range_for({"a": (0, 1 << 18)})
+    benchmark(lambda: index.read_range(lo, hi, charge=False))
+
+
+def bench_table_scan_plan(setup, benchmark):
+    env, table = setup
+    plan = TableScanNode(table, [ColumnRange("a", 0, 1 << 19)], project=["val"])
+    runner = PlanRunner(env)
+    benchmark(lambda: runner.measure(plan))
+
+
+def bench_improved_index_scan_plan(setup, benchmark):
+    env, table = setup
+    plan_factory = lambda: IndexRangeRidsNode(  # noqa: E731
+        table.index("idx_a"), ColumnRange("a", 0, 1 << 17)
+    )
+    from repro.executor import FetchNode
+
+    plan = FetchNode(plan_factory(), table, ADAPTIVE_PREFETCH, project=["val"])
+    runner = PlanRunner(env)
+    benchmark(lambda: runner.measure(plan))
+
+
+def bench_mdam_scan_plan(setup, benchmark):
+    env, table = setup
+    plan = MdamScanNode(
+        table.index("idx_ab"), ColumnRange("a", 0, 1 << 19), ColumnRange("b", 0, 1 << 14)
+    )
+    runner = PlanRunner(env)
+    benchmark(lambda: runner.measure(plan))
+
+
+def bench_fetch_strategy_sorted(setup, benchmark):
+    env, table = setup
+    rng = np.random.default_rng(1)
+    rids = rng.choice(N_ROWS, 5000, replace=False)
+
+    def run():
+        env.cold_reset()
+        ADAPTIVE_PREFETCH.fetch(ExecContext(env), table, rids, columns=["val"])
+
+    benchmark(run)
+
+
+def bench_bulk_load_btree(benchmark):
+    rng = np.random.default_rng(2)
+    keys = np.sort(rng.integers(0, 1 << 30, N_ROWS))
+    payload = {"rid": np.arange(N_ROWS, dtype=np.int64)}
+
+    def build():
+        env = StorageEnv(DeviceProfile(), pool_pages=64)
+        from repro.storage import BPlusTree
+
+        return BPlusTree(env, "t", entry_bytes=16).bulk_load(keys, payload)
+
+    benchmark(build)

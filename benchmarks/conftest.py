@@ -1,0 +1,41 @@
+"""Shared bench session for all figure benchmarks.
+
+The expensive sweeps (1-D: 17 selectivities x 7 plans; 2-D: 13x13 cells x
+15 plans across three systems) run once per pytest process and are shared
+by every bench; set ``REPRO_BENCH_CACHE=.bench_cache`` to also persist
+them across runs.  Every bench writes its paper-vs-measured claim table
+to ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.figures import FigureResult
+from repro.bench.harness import default_session
+from repro.bench.report import format_claims
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def session():
+    return default_session()
+
+
+def record(result: FigureResult) -> None:
+    """Print and persist a figure's claim table and series."""
+    text = format_claims(result.title, result.claims)
+    if result.series_text:
+        text += "\n" + result.series_text
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.figure_id}.txt").write_text(text + "\n")
+    for name, artifact in result.artifacts.items():
+        path = RESULTS_DIR / name
+        if isinstance(artifact, bytes):
+            path.write_bytes(artifact)
+        else:
+            path.write_text(artifact)

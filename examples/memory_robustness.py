@@ -1,0 +1,93 @@
+"""Memory-dimension robustness maps (the paper's §4 future work).
+
+"We expect that some implementations of sorting spill their entire input
+to disk if the input size exceeds the memory size by merely a single
+record.  Those sort implementations lacking graceful degradation will
+show discontinuous execution costs."
+
+This example draws exactly that map for the two spill policies in
+:mod:`repro.executor.sort`, plus a 2-D (input size x memory) map for hash
+aggregation, and runs the discontinuity detector on the curves.
+
+Run:  python examples/memory_robustness.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import DeviceProfile, StorageEnv
+from repro.core.landmarks import discontinuities
+from repro.executor import ExecContext, ExternalSort, HashAggregate, SpillPolicy
+from repro.viz import ABSOLUTE_TIME_SCALE, curve_ascii, heatmap_ascii
+from repro.viz.svg import curves_svg
+
+ROW_BYTES = 128
+MEMORY_BYTES = int(os.environ.get("REPRO_EXAMPLE_SORT_MEMORY", 2 << 20))
+
+
+def sort_cost(env: StorageEnv, n_rows: int, policy: SpillPolicy) -> float:
+    rng = np.random.default_rng(n_rows)
+    values = rng.integers(0, 1 << 30, n_rows)
+    env.cold_reset()
+    ctx = ExecContext(env, memory_bytes=MEMORY_BYTES)
+    start = env.clock.now
+    ExternalSort(ctx, row_bytes=ROW_BYTES, policy=policy).sort(values)
+    return env.clock.now - start
+
+
+def main() -> None:
+    env = StorageEnv(DeviceProfile())
+    memory_rows = MEMORY_BYTES // ROW_BYTES
+
+    # --- 1-D: sort cost vs input size around the memory boundary ---------
+    fractions = np.asarray([0.6, 0.75, 0.9, 0.97, 1.0, 1.03, 1.1, 1.25, 1.5, 2.0])
+    sizes = (fractions * memory_rows).astype(int)
+    curves = {
+        "all-or-nothing": np.asarray(
+            [sort_cost(env, n, SpillPolicy.ALL_OR_NOTHING) for n in sizes]
+        ),
+        "graceful": np.asarray(
+            [sort_cost(env, n, SpillPolicy.GRACEFUL) for n in sizes]
+        ),
+    }
+    print(f"sort workspace: {MEMORY_BYTES >> 20} MiB = {memory_rows} rows\n")
+    print(curve_ascii(sizes.astype(float), curves))
+    for label, ys in curves.items():
+        jumps = discontinuities(sizes.astype(float), ys, jump_factor=1.5)
+        verdict = "; ".join(str(j) for j in jumps) if jumps else "smooth"
+        print(f"  {label:16s}: {verdict}")
+    with open("sort_spill_map.svg", "w") as f:
+        f.write(
+            curves_svg(
+                sizes.astype(float),
+                curves,
+                title="Sort robustness: input size vs fixed memory",
+                x_label="input rows",
+            )
+        )
+    print("wrote sort_spill_map.svg")
+
+    # --- 2-D: hash aggregation over (groups x memory) --------------------
+    group_counts = [2**e for e in range(6, 15, 2)]
+    memories = [2**e for e in range(12, 21, 2)]
+    grid = np.zeros((len(group_counts), len(memories)))
+    rng = np.random.default_rng(0)
+    keys_pool = rng.integers(0, 1 << 30, 50_000)
+    for gi, n_groups in enumerate(group_counts):
+        keys = keys_pool % n_groups
+        for mi, memory in enumerate(memories):
+            env.cold_reset()
+            ctx = ExecContext(env, memory_bytes=memory)
+            start = env.clock.now
+            HashAggregate(ctx).groupby_count(keys)
+            grid[gi, mi] = env.clock.now - start
+    print("\nhash aggregation cost map (rows: groups up; cols: memory right):")
+    print(heatmap_ascii(grid, ABSOLUTE_TIME_SCALE))
+    print("x axis: memory", memories, "  y axis: groups", group_counts)
+    spilling = grid[:, 0].max() / grid[:, -1].max()
+    print(f"\nmemory starvation cost factor at max groups: {spilling:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

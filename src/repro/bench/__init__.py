@@ -1,0 +1,19 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+The heavy sweeps are computed once per process (and optionally cached on
+disk) and shared by all figure benches; each bench then derives its
+figure, prints the paper-vs-measured rows, and asserts the qualitative
+claims.  ``repro-figures`` (see :mod:`repro.bench.cli`) renders all
+artifacts into a directory.
+"""
+
+from repro.bench.harness import BenchConfig, BenchSession, default_session
+from repro.bench.report import Claim, format_claims
+
+__all__ = [
+    "BenchConfig",
+    "BenchSession",
+    "default_session",
+    "Claim",
+    "format_claims",
+]

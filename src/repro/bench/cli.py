@@ -1,0 +1,66 @@
+"""``repro-figures``: regenerate every paper figure into a directory.
+
+Usage::
+
+    repro-figures [output_dir] [--figures fig01,fig07] [--rows 65536]
+
+Writes SVG/PNG artifacts, prints the paper-vs-measured claim tables, and
+exits non-zero if any claim fails (usable as a CI robustness gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.harness import BenchConfig, BenchSession
+from repro.bench.report import format_claims
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="figures", help="output directory")
+    parser.add_argument(
+        "--figures",
+        default="all",
+        help="comma-separated figure ids (default: all of "
+        + ",".join(ALL_FIGURES)
+        + ")",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="table rows override")
+    args = parser.parse_args(argv)
+
+    if args.rows is not None:
+        os.environ["REPRO_BENCH_ROWS"] = str(args.rows)
+    session = BenchSession(BenchConfig())
+    wanted = list(ALL_FIGURES) if args.figures == "all" else args.figures.split(",")
+    unknown = [figure for figure in wanted if figure not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}")
+
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    all_hold = True
+    for figure_id in wanted:
+        result = ALL_FIGURES[figure_id](session)
+        print(format_claims(result.title, result.claims))
+        if result.series_text:
+            print(result.series_text)
+        for name, artifact in result.artifacts.items():
+            path = out_dir / name
+            if isinstance(artifact, bytes):
+                path.write_bytes(artifact)
+            else:
+                path.write_text(artifact)
+            print(f"  wrote {path}")
+        print()
+        all_hold = all_hold and result.all_hold
+    print("ALL CLAIMS HOLD" if all_hold else "SOME CLAIMS FAILED")
+    return 0 if all_hold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

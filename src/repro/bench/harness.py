@@ -1,0 +1,156 @@
+"""Shared bench session: systems + sweeps, computed once, cached.
+
+Scale knobs (environment variables, so CI can dial them):
+
+* ``REPRO_BENCH_ROWS``     — table rows (default 2^17).
+* ``REPRO_BENCH_MIN_EXP``  — smallest selectivity exponent for the 1-D
+  sweep (default -16, the paper's grid).
+* ``REPRO_BENCH_MIN_EXP_2D`` — same for the 2-D grids (default -12; the
+  paper used a finer monitor, we default to a 13x13 grid).
+* ``REPRO_BENCH_CACHE``    — directory for on-disk MapData caching
+  (default: no disk cache).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.mapdata import MapData
+from repro.core.parameter_space import Space1D, Space2D
+from repro.core.runner import Jitter, RobustnessSweep
+from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
+from repro.workloads import LineitemConfig
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scale parameters for one bench session."""
+
+    n_rows: int = field(default_factory=lambda: _env_int("REPRO_BENCH_ROWS", 1 << 17))
+    min_exp_1d: int = field(default_factory=lambda: _env_int("REPRO_BENCH_MIN_EXP", -16))
+    min_exp_2d: int = field(default_factory=lambda: _env_int("REPRO_BENCH_MIN_EXP_2D", -12))
+    seed: int = 42
+    pool_pages: int = 256
+    budget_scale: float = 50.0
+    """Cost budget = budget_scale x the table-scan cost (censors blowups)."""
+
+    memory_bytes: int = 4 << 20
+    """Workspace memory per plan (bounded, so large builds spill)."""
+
+    cache_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_BENCH_CACHE")
+    )
+
+    def cache_path(self, key: str) -> Path | None:
+        if not self.cache_dir:
+            return None
+        directory = Path(self.cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory / f"{key}_rows{self.n_rows}_seed{self.seed}.json"
+
+
+class BenchSession:
+    """Builds systems lazily and memoizes the expensive sweeps."""
+
+    def __init__(self, config: BenchConfig | None = None) -> None:
+        self.config = config or BenchConfig()
+        self._systems: dict[str, DatabaseSystem] | None = None
+        self._maps: dict[str, MapData] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def systems(self) -> dict[str, DatabaseSystem]:
+        if self._systems is None:
+            config = self.config
+            self._systems = build_three_systems(
+                SystemConfig(
+                    lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
+                    pool_pages=config.pool_pages,
+                )
+            )
+        return self._systems
+
+    @property
+    def system_a(self) -> DatabaseSystem:
+        return self.systems["A"]
+
+    def table_scan_seconds(self) -> float:
+        """Cost of one cold table scan (the budget yardstick)."""
+        from repro.executor.plans import TableScanNode
+
+        system = self.system_a
+        run = system.runner().measure(TableScanNode(system.table, []))
+        return run.seconds
+
+    def budget(self) -> float:
+        return self.config.budget_scale * self.table_scan_seconds()
+
+    # ------------------------------------------------------------------
+
+    def _cached(self, key: str, compute) -> MapData:
+        if key in self._maps:
+            return self._maps[key]
+        path = self.config.cache_path(key)
+        if path is not None and path.exists():
+            mapdata = MapData.load(path)
+        else:
+            mapdata = compute()
+            if path is not None:
+                mapdata.save(path)
+        self._maps[key] = mapdata
+        return mapdata
+
+    def single_predicate_map(self) -> MapData:
+        """1-D sweep over System A's 7 single-predicate plans (Figs 1-2)."""
+
+        def compute() -> MapData:
+            sweep = RobustnessSweep(
+                [self.system_a],
+                budget_seconds=self.budget(),
+                memory_bytes=self.config.memory_bytes,
+            )
+            space = Space1D.log2("selectivity", self.config.min_exp_1d, 0)
+            return sweep.sweep_single_predicate(space)
+
+        return self._cached("single_predicate", compute)
+
+    def two_predicate_map(self, jitter: bool = True) -> MapData:
+        """2-D sweep over all 15 plans of systems A, B, C (Figs 4-10)."""
+
+        def compute() -> MapData:
+            sweep = RobustnessSweep(
+                list(self.systems.values()),
+                budget_seconds=self.budget(),
+                memory_bytes=self.config.memory_bytes,
+                jitter=Jitter(rel=0.01, abs=0.0005, seed=self.config.seed)
+                if jitter
+                else None,
+            )
+            space = Space2D.log2("sel_a", "sel_b", self.config.min_exp_2d, 0)
+            return sweep.sweep_two_predicate(space)
+
+        key = "two_predicate" + ("" if jitter else "_nojitter")
+        return self._cached(key, compute)
+
+    def system_a_plan_ids(self) -> list[str]:
+        """The 7 System A plan ids of the two-predicate query (Fig 7)."""
+        mapdata = self.two_predicate_map()
+        return [plan_id for plan_id in mapdata.plan_ids if plan_id.startswith("A.")]
+
+
+_DEFAULT_SESSION: BenchSession | None = None
+
+
+def default_session() -> BenchSession:
+    """Process-wide shared session (all benches reuse the same sweeps)."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = BenchSession()
+    return _DEFAULT_SESSION

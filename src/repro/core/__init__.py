@@ -1,0 +1,67 @@
+"""Robustness maps — the paper's primary contribution.
+
+This package turns *measured* plan costs into the paper's four diagram
+families and the quantitative machinery around them:
+
+* :mod:`parameter_space` — 1-D / 2-D log-spaced selectivity grids.
+* :mod:`mapdata` — the measured cost cube (plan x grid), serializable.
+* :mod:`runner` — sweeps forced plans over grids under cold caches.
+* :mod:`maps` — absolute maps and performance relative to the best plan.
+* :mod:`optimality` — tolerance-based optimal-plan sets and the size,
+  shape, and contiguity of optimality regions (Figs 7-10).
+* :mod:`landmarks` — monotonicity / flattening / discontinuity /
+  crossover / symmetry detectors (§3.1's "landmarks").
+* :mod:`metrics` — per-plan robustness profiles (worst-case quotient,
+  area of acceptability, ...).
+* :mod:`regression` — map-vs-map comparison for regression testing.
+"""
+
+from repro.core.parameter_space import Space1D, Space2D, log2_targets
+from repro.core.mapdata import MapData
+from repro.core.runner import RobustnessSweep, Jitter
+from repro.core.maps import best_times, relative_to_best, quotient_for
+from repro.core.optimality import (
+    optimal_mask,
+    optimal_counts,
+    regions_of,
+    region_stats,
+    RegionStats,
+)
+from repro.core.landmarks import (
+    Landmark,
+    monotonicity_violations,
+    flattening_violations,
+    discontinuities,
+    crossovers,
+    symmetry_score,
+)
+from repro.core.metrics import RobustnessProfile, profile_plan, summarize_plans
+from repro.core.regression import RegressionReport, compare_maps
+
+__all__ = [
+    "Space1D",
+    "Space2D",
+    "log2_targets",
+    "MapData",
+    "RobustnessSweep",
+    "Jitter",
+    "best_times",
+    "relative_to_best",
+    "quotient_for",
+    "optimal_mask",
+    "optimal_counts",
+    "regions_of",
+    "region_stats",
+    "RegionStats",
+    "Landmark",
+    "monotonicity_violations",
+    "flattening_violations",
+    "discontinuities",
+    "crossovers",
+    "symmetry_score",
+    "RobustnessProfile",
+    "profile_plan",
+    "summarize_plans",
+    "RegressionReport",
+    "compare_maps",
+]

@@ -1,0 +1,157 @@
+"""The measured cost cube behind every robustness map.
+
+A :class:`MapData` holds, for each (plan, grid cell): the measured virtual
+seconds, whether the measurement was censored by the cost budget, and per
+cell the query's true result size and achieved selectivities.  It is the
+single exchange format between the sweep runner, the analysis modules,
+the renderers, and the benches (JSON round-trip for caching).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class MapData:
+    """Measured costs for P plans over a 1-D or 2-D grid."""
+
+    plan_ids: list[str]
+    times: np.ndarray
+    """Seconds, shape (P, nx) or (P, nx, ny); NaN where censored."""
+
+    aborted: np.ndarray
+    """Bool, same shape as times: True where the budget censored the run."""
+
+    rows: np.ndarray
+    """True result size per cell, shape (nx,) or (nx, ny)."""
+
+    x_targets: np.ndarray
+    x_achieved: np.ndarray
+    y_targets: np.ndarray | None = None
+    y_achieved: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.aborted = np.asarray(self.aborted, dtype=bool)
+        if self.times.shape != self.aborted.shape:
+            raise ExperimentError("times and aborted shapes differ")
+        if self.times.shape[0] != len(self.plan_ids):
+            raise ExperimentError(
+                f"{len(self.plan_ids)} plans but times has "
+                f"{self.times.shape[0]} slices"
+            )
+        if self.times.shape[1:] != np.asarray(self.rows).shape:
+            raise ExperimentError("rows shape does not match grid shape")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_2d(self) -> bool:
+        return self.times.ndim == 3
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self.times.shape[1:]
+
+    @property
+    def n_plans(self) -> int:
+        return len(self.plan_ids)
+
+    def plan_index(self, plan_id: str) -> int:
+        try:
+            return self.plan_ids.index(plan_id)
+        except ValueError:
+            raise ExperimentError(
+                f"unknown plan {plan_id!r}; have {self.plan_ids}"
+            ) from None
+
+    def times_for(self, plan_id: str) -> np.ndarray:
+        """This plan's cost surface (NaN where censored)."""
+        return self.times[self.plan_index(plan_id)]
+
+    def subset(self, plan_ids: list[str]) -> "MapData":
+        """A new MapData restricted to the given plans."""
+        idx = [self.plan_index(p) for p in plan_ids]
+        return MapData(
+            plan_ids=list(plan_ids),
+            times=self.times[idx].copy(),
+            aborted=self.aborted[idx].copy(),
+            rows=self.rows,
+            x_targets=self.x_targets,
+            x_achieved=self.x_achieved,
+            y_targets=self.y_targets,
+            y_achieved=self.y_achieved,
+            meta=dict(self.meta),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (JSON; NaN encoded as None)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        def encode(array: np.ndarray | None):
+            if array is None:
+                return None
+            return np.where(np.isnan(array), None, array).tolist() if array.dtype.kind == "f" else array.tolist()
+
+        return {
+            "plan_ids": self.plan_ids,
+            "times": encode(self.times),
+            "aborted": self.aborted.tolist(),
+            "rows": np.asarray(self.rows).tolist(),
+            "x_targets": encode(np.asarray(self.x_targets, dtype=float)),
+            "x_achieved": encode(np.asarray(self.x_achieved, dtype=float)),
+            "y_targets": encode(
+                None if self.y_targets is None else np.asarray(self.y_targets, dtype=float)
+            ),
+            "y_achieved": encode(
+                None if self.y_achieved is None else np.asarray(self.y_achieved, dtype=float)
+            ),
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MapData":
+        def decode(obj, dtype=float):
+            if obj is None:
+                return None
+            array = np.asarray(
+                [[np.nan if v is None else v for v in row] for row in obj]
+                if obj and isinstance(obj[0], list)
+                else [np.nan if v is None else v for v in obj],
+                dtype=dtype,
+            )
+            return array
+
+        times_raw = data["times"]
+        times = np.asarray(
+            json.loads(json.dumps(times_raw), parse_constant=lambda c: None),
+            dtype=object,
+        )
+        times = np.where(times == None, np.nan, times).astype(float)  # noqa: E711
+        return cls(
+            plan_ids=list(data["plan_ids"]),
+            times=times,
+            aborted=np.asarray(data["aborted"], dtype=bool),
+            rows=np.asarray(data["rows"], dtype=np.int64),
+            x_targets=decode(data["x_targets"]),
+            x_achieved=decode(data["x_achieved"]),
+            y_targets=decode(data.get("y_targets")),
+            y_achieved=decode(data.get("y_achieved")),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MapData":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,60 @@
+"""Absolute and relative robustness maps.
+
+§3.3: "We then plotted the relative performance of each individual plan
+compared to the optimal plan at each point in the parameter space.  A
+given plan is optimal if its performance is equal to the optimal
+performance among all plans, i.e., the quotient of costs is 1."
+
+Censored (budget-aborted) measurements are treated as infinitely slow for
+quotients and excluded from the best-plan minimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapdata import MapData
+from repro.errors import ExperimentError
+
+
+def best_times(mapdata: MapData, plan_ids: list[str] | None = None) -> np.ndarray:
+    """Per-cell minimum cost over the chosen plans (NaN-aware).
+
+    Raises if some cell has no uncensored measurement at all.
+    """
+    data = mapdata if plan_ids is None else mapdata.subset(plan_ids)
+    if np.all(np.isnan(data.times), axis=0).any():
+        raise ExperimentError("some cells have no uncensored measurement")
+    return np.nanmin(data.times, axis=0)
+
+
+def relative_to_best(
+    mapdata: MapData,
+    plan_ids: list[str] | None = None,
+    baseline_ids: list[str] | None = None,
+) -> np.ndarray:
+    """Quotient surfaces: plan cost / best cost, shape (P, *grid).
+
+    ``plan_ids`` selects the numerator plans (default all); ``baseline_ids``
+    selects which plans define "best" (default: the same set).  Censored
+    cells get +inf (the plan is arbitrarily worse than the best).
+    """
+    numerator = mapdata if plan_ids is None else mapdata.subset(plan_ids)
+    best = best_times(mapdata, baseline_ids if baseline_ids is not None else plan_ids)
+    if np.any(best <= 0):
+        raise ExperimentError("best time is zero somewhere; cannot form quotients")
+    quotients = numerator.times / best
+    quotients = np.where(np.isnan(numerator.times), np.inf, quotients)
+    return quotients
+
+
+def quotient_for(
+    mapdata: MapData,
+    plan_id: str,
+    baseline_ids: list[str] | None = None,
+) -> np.ndarray:
+    """One plan's quotient surface vs. the best of ``baseline_ids``."""
+    best = best_times(mapdata, baseline_ids)
+    times = mapdata.times_for(plan_id)
+    quotient = times / best
+    return np.where(np.isnan(times), np.inf, quotient)

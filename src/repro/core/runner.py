@@ -1,0 +1,239 @@
+"""Sweep runner: measure forced plans over selectivity grids.
+
+Methodology mirrors the paper's §3: plan choices are eliminated by
+construction (the systems hand over forced plan trees), every cell is a
+cold-cache measurement on the virtual clock, and overly expensive plans
+are censored by a cost budget (Fig 1's traditional index scan "is not
+even shown across the entire range").
+
+Optional deterministic measurement jitter reproduces the paper's
+"measurement flukes in the sub-second range" (Fig 5) and the 0.1 s ties
+of Fig 10 without sacrificing reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.mapdata import MapData
+from repro.core.parameter_space import Space1D, Space2D
+from repro.errors import ExperimentError
+from repro.executor.plans import MeasuredRun
+from repro.systems.base import DatabaseSystem
+from repro.workloads.queries import SinglePredicateQuery, TwoPredicateQuery
+from repro.workloads.selectivity import PredicateBuilder
+
+
+@dataclass(frozen=True)
+class Jitter:
+    """Deterministic measurement noise: t' = t(1 + rel*g) + abs*|g'|."""
+
+    rel: float = 0.01
+    abs: float = 0.002
+    seed: int = 2009
+
+    def apply(self, seconds: float, plan_id: str, cell: tuple[int, ...]) -> float:
+        digest = hash((self.seed, plan_id, cell)) & 0xFFFFFFFF
+        rng = np.random.default_rng(digest)
+        noisy = seconds * (1.0 + self.rel * rng.standard_normal())
+        noisy += self.abs * abs(rng.standard_normal())
+        return max(noisy, 0.0)
+
+
+class RobustnessSweep:
+    """Runs the paper's sweeps over one or more systems."""
+
+    def __init__(
+        self,
+        systems: Iterable[DatabaseSystem],
+        budget_seconds: float | None = None,
+        memory_bytes: int | None = None,
+        jitter: Jitter | None = None,
+        verify_agreement: bool = True,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.systems = list(systems)
+        if not self.systems:
+            raise ExperimentError("need at least one system to sweep")
+        self.budget_seconds = budget_seconds
+        self.memory_bytes = memory_bytes
+        self.jitter = jitter
+        self.verify_agreement = verify_agreement
+        self.progress = progress or (lambda message: None)
+
+    # ------------------------------------------------------------------
+
+    def _measure_cell(
+        self,
+        plans_by_system: list[tuple[DatabaseSystem, dict]],
+        cell: tuple[int, ...],
+        expected_rows: int,
+    ) -> dict[str, MeasuredRun]:
+        runs: dict[str, MeasuredRun] = {}
+        for system, plans in plans_by_system:
+            runner = system.runner(
+                budget_seconds=self.budget_seconds,
+                memory_bytes=self.memory_bytes,
+            )
+            for plan_id, plan in plans.items():
+                run = runner.measure(plan)
+                if (
+                    self.verify_agreement
+                    and not run.aborted
+                    and run.n_rows != expected_rows
+                ):
+                    raise ExperimentError(
+                        f"plan {plan_id} returned {run.n_rows} rows at cell "
+                        f"{cell}; oracle says {expected_rows}"
+                    )
+                runs[plan_id] = run
+        return runs
+
+    def _record(
+        self,
+        runs: dict[str, MeasuredRun],
+        plan_ids: list[str],
+        times: np.ndarray,
+        aborted: np.ndarray,
+        cell: tuple[int, ...],
+    ) -> None:
+        for p, plan_id in enumerate(plan_ids):
+            run = runs[plan_id]
+            index = (p, *cell)
+            if run.aborted:
+                times[index] = np.nan
+                aborted[index] = True
+            else:
+                seconds = run.seconds
+                if self.jitter is not None:
+                    seconds = self.jitter.apply(seconds, plan_id, cell)
+                times[index] = seconds
+
+    # ------------------------------------------------------------------
+
+    def sweep_single_predicate(
+        self,
+        space: Space1D,
+        column: str | None = None,
+        plan_filter: Callable[[str], bool] | None = None,
+    ) -> MapData:
+        """1-D sweep (Figs 1-2): one predicate, selectivity on the x axis."""
+        reference = self.systems[0]
+        column = column or reference.config.b_column
+        builder = PredicateBuilder(reference.table, column)
+        predicates = builder.predicates_for_grid(space.targets)
+
+        # Discover the full plan id list from the first cell's plans.
+        first_query = SinglePredicateQuery(predicates[0][0])
+        plan_ids: list[str] = []
+        for system in self.systems:
+            for plan_id in system.single_predicate_plans(first_query):
+                if plan_filter is None or plan_filter(plan_id):
+                    plan_ids.append(plan_id)
+
+        n_points = space.n_points
+        times = np.full((len(plan_ids), n_points), np.nan)
+        aborted = np.zeros((len(plan_ids), n_points), dtype=bool)
+        rows = np.zeros(n_points, dtype=np.int64)
+        achieved = np.zeros(n_points)
+
+        for i, (predicate, achieved_sel) in enumerate(predicates):
+            query = SinglePredicateQuery(predicate)
+            expected = int(query.oracle_rids(reference.table).size)
+            rows[i] = expected
+            achieved[i] = achieved_sel
+            plans_by_system = []
+            for system in self.systems:
+                plans = {
+                    plan_id: plan
+                    for plan_id, plan in system.single_predicate_plans(query).items()
+                    if plan_filter is None or plan_filter(plan_id)
+                }
+                plans_by_system.append((system, plans))
+            runs = self._measure_cell(plans_by_system, (i,), expected)
+            self._record(runs, plan_ids, times, aborted, (i,))
+            self.progress(f"1-D cell {i + 1}/{n_points} (sel={achieved_sel:.2e})")
+
+        return MapData(
+            plan_ids=plan_ids,
+            times=times,
+            aborted=aborted,
+            rows=rows,
+            x_targets=space.targets,
+            x_achieved=achieved,
+            meta={
+                "sweep": "single-predicate",
+                "column": column,
+                "budget_seconds": self.budget_seconds,
+                "systems": [system.name for system in self.systems],
+                "n_rows_table": reference.table.n_rows,
+            },
+        )
+
+    def sweep_two_predicate(
+        self,
+        space: Space2D,
+        plan_filter: Callable[[str], bool] | None = None,
+    ) -> MapData:
+        """2-D sweep (Figs 4-10): both predicate selectivities vary."""
+        reference = self.systems[0]
+        a_column = reference.config.a_column
+        b_column = reference.config.b_column
+        builder_a = PredicateBuilder(reference.table, a_column)
+        builder_b = PredicateBuilder(reference.table, b_column)
+        preds_a = builder_a.predicates_for_grid(space.x.targets)
+        preds_b = builder_b.predicates_for_grid(space.y.targets)
+
+        first_query = TwoPredicateQuery(preds_a[0][0], preds_b[0][0])
+        plan_ids = []
+        for system in self.systems:
+            for plan_id in system.two_predicate_plans(first_query):
+                if plan_filter is None or plan_filter(plan_id):
+                    plan_ids.append(plan_id)
+
+        nx, ny = space.shape
+        times = np.full((len(plan_ids), nx, ny), np.nan)
+        aborted = np.zeros((len(plan_ids), nx, ny), dtype=bool)
+        rows = np.zeros((nx, ny), dtype=np.int64)
+
+        mask_a_cache = [pred.mask(reference.table.column(a_column)) for pred, _ in preds_a]
+        mask_b_cache = [pred.mask(reference.table.column(b_column)) for pred, _ in preds_b]
+
+        for ix, (pred_a, _ach_a) in enumerate(preds_a):
+            for iy, (pred_b, _ach_b) in enumerate(preds_b):
+                query = TwoPredicateQuery(pred_a, pred_b)
+                expected = int(np.count_nonzero(mask_a_cache[ix] & mask_b_cache[iy]))
+                rows[ix, iy] = expected
+                plans_by_system = []
+                for system in self.systems:
+                    plans = {
+                        plan_id: plan
+                        for plan_id, plan in system.two_predicate_plans(query).items()
+                        if plan_filter is None or plan_filter(plan_id)
+                    }
+                    plans_by_system.append((system, plans))
+                runs = self._measure_cell(plans_by_system, (ix, iy), expected)
+                self._record(runs, plan_ids, times, aborted, (ix, iy))
+            self.progress(f"2-D row {ix + 1}/{nx}")
+
+        return MapData(
+            plan_ids=plan_ids,
+            times=times,
+            aborted=aborted,
+            rows=rows,
+            x_targets=space.x.targets,
+            x_achieved=np.asarray([a for _p, a in preds_a]),
+            y_targets=space.y.targets,
+            y_achieved=np.asarray([a for _p, a in preds_b]),
+            meta={
+                "sweep": "two-predicate",
+                "a_column": a_column,
+                "b_column": b_column,
+                "budget_seconds": self.budget_seconds,
+                "systems": [system.name for system in self.systems],
+                "n_rows_table": reference.table.n_rows,
+            },
+        )

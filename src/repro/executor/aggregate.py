@@ -1,0 +1,95 @@
+"""Aggregation operators (paper §4: "sort, aggregation, join algorithms").
+
+Two classic implementations with different robustness characteristics:
+
+* :class:`HashAggregate` — cost grows with the number of *groups*; when
+  the hash table exceeds workspace memory it partitions input to temp
+  storage and aggregates per partition (one extra sequential pass).
+* :class:`StreamAggregate` — requires input already sorted by the group
+  key; constant memory, perfectly smooth cost, but depends on an upstream
+  sort — the combination exhibits the upstream sort's (dis)continuities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.executor.context import ExecContext
+
+_HASH_ENTRY_BYTES = 48  # key, aggregate state, bucket overhead
+
+
+class HashAggregate:
+    """Group-by + count/sum via hash table, with partition spilling."""
+
+    def __init__(self, ctx: ExecContext, row_bytes: int = 16) -> None:
+        self.ctx = ctx
+        self.row_bytes = row_bytes
+
+    def groupby_count(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct keys and their counts; charges hashing and spills."""
+        ctx = self.ctx
+        keys = np.asarray(keys)
+        n_rows = int(keys.size)
+        if n_rows == 0:
+            return np.empty(0, dtype=keys.dtype), np.empty(0, dtype=np.int64)
+        groups, counts = np.unique(keys, return_counts=True)
+        n_groups = int(groups.size)
+        table_bytes = n_groups * _HASH_ENTRY_BYTES
+        grant = ctx.broker.try_grant(table_bytes)
+        ctx.charge(n_rows, ctx.profile.cpu_hash)
+        if grant is None:
+            self._spill_partitions(n_rows, n_groups)
+        else:
+            grant.release()
+        ctx.charge(n_groups, ctx.profile.cpu_row)
+        ctx.check_budget()
+        return groups, counts.astype(np.int64)
+
+    def _spill_partitions(self, n_rows: int, n_groups: int) -> None:
+        """Partition input to temp storage and re-read per partition."""
+        ctx = self.ctx
+        available = max(1, ctx.broker.available_bytes)
+        n_partitions = max(
+            2, -(-n_groups * _HASH_ENTRY_BYTES // available)  # ceil division
+        )
+        rows_per_partition = -(-n_rows // n_partitions)
+        runs = [
+            ctx.temp.write_run(rows_per_partition, self.row_bytes)
+            for _ in range(n_partitions)
+        ]
+        for run in runs:
+            ctx.temp.read_run_fully(run)
+            ctx.check_budget()
+        # Second hashing pass over every row during partition aggregation.
+        ctx.charge(n_rows, ctx.profile.cpu_hash)
+
+
+class StreamAggregate:
+    """Group-by over already-sorted input: one comparison per row."""
+
+    def __init__(self, ctx: ExecContext) -> None:
+        self.ctx = ctx
+
+    def groupby_count(
+        self, sorted_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct keys and counts; input must be sorted ascending."""
+        ctx = self.ctx
+        sorted_keys = np.asarray(sorted_keys)
+        if sorted_keys.size and np.any(np.diff(sorted_keys) < 0):
+            raise ExecutionError("StreamAggregate requires sorted input")
+        ctx.charge(int(sorted_keys.size), ctx.profile.cpu_compare)
+        if sorted_keys.size == 0:
+            return np.empty(0, dtype=sorted_keys.dtype), np.empty(0, dtype=np.int64)
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_keys.size]])
+        groups = sorted_keys[starts]
+        counts = (ends - starts).astype(np.int64)
+        ctx.charge(int(groups.size), ctx.profile.cpu_row)
+        ctx.check_budget()
+        return groups, counts

@@ -1,0 +1,87 @@
+"""Execution context: devices + memory + cost budget for one plan run.
+
+The cost budget reproduces the paper's pragmatic truncation: in Fig 1 the
+traditional index scan "is not even shown across the entire range" because
+its cost explodes.  A plan that exceeds its budget aborts with
+:class:`CostBudgetExceeded` and the sweep records a censored measurement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.executor.memory import MemoryBroker
+from repro.sim.profile import DeviceProfile
+from repro.storage.env import StorageEnv
+
+
+class CostBudgetExceeded(ExecutionError):
+    """A plan's virtual cost crossed the per-measurement budget."""
+
+    def __init__(self, budget_seconds: float, spent_seconds: float) -> None:
+        super().__init__(
+            f"plan exceeded its cost budget: spent {spent_seconds:.3f}s "
+            f"of {budget_seconds:.3f}s"
+        )
+        self.budget_seconds = budget_seconds
+        self.spent_seconds = spent_seconds
+
+
+class ExecContext:
+    """Everything an operator needs while executing one plan."""
+
+    def __init__(
+        self,
+        env: StorageEnv,
+        memory_bytes: int | None = None,
+        budget_seconds: float | None = None,
+    ) -> None:
+        self.env = env
+        self.broker = MemoryBroker(
+            memory_bytes if memory_bytes is not None else env.profile.memory_bytes
+        )
+        self.budget_seconds = budget_seconds
+        self._budget_start = env.clock.now
+
+    @property
+    def profile(self) -> DeviceProfile:
+        return self.env.profile
+
+    @property
+    def clock(self):
+        return self.env.clock
+
+    @property
+    def disk(self):
+        return self.env.disk
+
+    @property
+    def pool(self):
+        return self.env.pool
+
+    @property
+    def temp(self):
+        return self.env.temp
+
+    def arm_budget(self) -> None:
+        """Start the budget window at the current clock (PlanRunner calls this)."""
+        self._budget_start = self.env.clock.now
+
+    def charge(self, n_items: int, seconds_per_item: float) -> None:
+        """Charge uniform CPU cost for ``n_items`` operations."""
+        self.env.charge_cpu(n_items, seconds_per_item)
+
+    def charge_sort_cpu(self, n_items: int) -> None:
+        """Charge comparison cost for sorting ``n_items`` (n log2 n)."""
+        if n_items > 1:
+            import math
+
+            comparisons = n_items * math.log2(n_items)
+            self.env.clock.advance(comparisons * self.profile.cpu_compare)
+
+    def check_budget(self) -> None:
+        """Abort the plan if it has exceeded its cost budget."""
+        if self.budget_seconds is None:
+            return
+        spent = self.env.clock.now - self._budget_start
+        if spent > self.budget_seconds:
+            raise CostBudgetExceeded(self.budget_seconds, spent)

@@ -1,0 +1,526 @@
+"""Physical plan trees and the measurement runner.
+
+Each node charges the virtual clock for exactly the work a real executor
+would do.  Plans are *forced*: there is no optimizer in the measurement
+loop (the paper: "we assume that query optimization is complete and the
+chosen query execution plan is fixed").
+
+Node inventory (→ the paper's plan classes):
+
+* :class:`TableScanNode` — full scan of the clustered index.
+* :class:`IndexRangeRidsNode` — single-column index range scan → rids.
+* :class:`FetchNode` — fetch base rows via a :class:`FetchStrategy`
+  (naive / sorted-bitmap / adaptive-prefetch); optional residual
+  predicates; optional MVCC verify-only mode (System B).
+* :class:`RidIntersectNode` — index intersection by merge or hash join.
+* :class:`CompositeRangeRidsNode` — composite-index range scan with
+  in-index trailing filter → rids (System B's access path).
+* :class:`CoveringCompositeScanNode` — covering composite scan, plain or
+  MDAM (System C).
+* :class:`MdamScanNode` — explicit MDAM node.
+* :class:`CoveringRidJoinNode` — joins a rid set with a full scan of a
+  second index so the join result covers the query (Fig 2's plans).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.executor.context import CostBudgetExceeded, ExecContext
+from repro.executor.fetch import FetchStrategy
+from repro.executor.mdam import mdam_scan
+from repro.executor.predicates import ColumnRange, apply_predicates
+from repro.executor.results import Result
+from repro.sim.disk import DiskStats
+from repro.storage.codec import CompositeKeyCodec
+from repro.storage.env import StorageEnv
+from repro.storage.table import SecondaryIndex, Table
+
+
+class PlanNode(ABC):
+    """Base class for all physical plan operators."""
+
+    label: str = "plan"
+
+    @abstractmethod
+    def execute(self, ctx: ExecContext) -> Result:
+        """Run the operator, charging virtual time; returns its result."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented textual plan tree (EXPLAIN output)."""
+        lines = ["  " * indent + f"-> {self.label}"]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class TableScanNode(PlanNode):
+    """Sequential scan of the table's clustered index with predicates."""
+
+    def __init__(
+        self,
+        table: Table,
+        predicates: list[ColumnRange],
+        project: list[str] | None = None,
+    ) -> None:
+        self.table = table
+        self.predicates = predicates
+        self.project = project if project is not None else []
+        preds = " AND ".join(str(p) for p in predicates) or "true"
+        self.label = f"TableScan({table.name}; {preds})"
+
+    def execute(self, ctx: ExecContext) -> Result:
+        table = self.table
+        profile = ctx.profile
+        _keys, columns = table.clustered.scan_all(charge=True)
+        n_rows = table.n_rows
+        ctx.charge(n_rows, profile.cpu_row)
+        if self.predicates:
+            ctx.charge(n_rows * len(self.predicates), profile.cpu_predicate)
+            mask = apply_predicates(columns, self.predicates)
+            rids = np.flatnonzero(mask).astype(np.int64)
+        else:
+            rids = np.arange(n_rows, dtype=np.int64)
+        needed = dict.fromkeys(
+            self.project + [p.column for p in self.predicates]
+        )
+        out = {name: columns[name][rids] for name in needed}
+        ctx.charge(rids.size, profile.cpu_row)
+        ctx.check_budget()
+        return Result(rids, out)
+
+
+class IndexRangeRidsNode(PlanNode):
+    """Range scan of a single-column index, emitting rids + key values."""
+
+    def __init__(self, index: SecondaryIndex, predicate: ColumnRange) -> None:
+        if len(index.key_columns) != 1:
+            raise PlanError(
+                f"IndexRangeRidsNode needs a single-column index, "
+                f"got {index.key_columns}"
+            )
+        if predicate.column != index.key_columns[0]:
+            raise PlanError(
+                f"predicate column {predicate.column!r} does not match "
+                f"index column {index.key_columns[0]!r}"
+            )
+        self.index = index
+        self.predicate = predicate
+        self.label = f"IndexRangeScan({index.name}; {predicate})"
+
+    def execute(self, ctx: ExecContext) -> Result:
+        key_range = self.index.key_range_for(
+            {self.predicate.column: self.predicate.as_tuple()}
+        )
+        if key_range is None:
+            return Result.empty()
+        keys, rids = self.index.read_range(*key_range, charge=True)
+        ctx.charge(keys.size, ctx.profile.cpu_bitmap_op)
+        ctx.check_budget()
+        return Result(
+            np.asarray(rids, dtype=np.int64),
+            {self.predicate.column: np.asarray(keys, dtype=np.int64)},
+        )
+
+
+class CompositeRangeRidsNode(PlanNode):
+    """Composite-index scan: leading range bounds I/O, trailing filtered in-index."""
+
+    def __init__(
+        self,
+        index: SecondaryIndex,
+        leading: ColumnRange,
+        trailing: ColumnRange,
+    ) -> None:
+        codec = index.codec
+        if not isinstance(codec, CompositeKeyCodec) or codec.n_columns != 2:
+            raise PlanError("CompositeRangeRidsNode needs a two-column index")
+        lead_col, trail_col = index.key_columns
+        if (leading.column, trailing.column) != (lead_col, trail_col):
+            raise PlanError(
+                f"predicates ({leading.column}, {trailing.column}) do not match "
+                f"index columns ({lead_col}, {trail_col})"
+            )
+        self.index = index
+        self.leading = leading
+        self.trailing = trailing
+        self.label = (
+            f"CompositeRangeScan({index.name}; {leading}; in-index filter {trailing})"
+        )
+
+    def execute(self, ctx: ExecContext) -> Result:
+        index = self.index
+        codec: CompositeKeyCodec = index.codec  # type: ignore[assignment]
+        maxima = tuple((1 << b) - 1 for b in codec.bits)
+        lead_lo = max(0, self.leading.lo)
+        lead_hi = min(self.leading.hi, maxima[0])
+        if lead_lo > lead_hi:
+            return Result.empty()
+        lo_arr, hi_arr = codec.prefix_bounds(np.asarray([lead_lo, lead_hi]))
+        keys, rids = index.read_range(int(lo_arr[0]), int(hi_arr[1]), charge=True)
+        profile = ctx.profile
+        ctx.charge(keys.size, profile.cpu_predicate)
+        lead_vals, trail_vals = codec.decode(keys)
+        mask = self.trailing.mask(trail_vals)
+        rids_out = np.asarray(rids, dtype=np.int64)[mask]
+        ctx.charge(rids_out.size, profile.cpu_bitmap_op)
+        ctx.check_budget()
+        return Result(
+            rids_out,
+            {
+                self.leading.column: lead_vals[mask],
+                self.trailing.column: trail_vals[mask],
+            },
+        )
+
+
+class FetchNode(PlanNode):
+    """Fetch base rows for the child's rids via a fetch strategy.
+
+    ``verify_only=True`` models System B's MVCC constraint: rows must be
+    fetched to verify visibility, but output columns come from the child
+    (the covering index) — the fetch cost is pure overhead.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        table: Table,
+        strategy: FetchStrategy,
+        residual: list[ColumnRange] | None = None,
+        project: list[str] | None = None,
+        verify_only: bool = False,
+    ) -> None:
+        self.child = child
+        self.table = table
+        self.strategy = strategy
+        self.residual = residual or []
+        self.project = project if project is not None else []
+        self.verify_only = verify_only
+        mode = "verify-only" if verify_only else "materialize"
+        residual_text = " AND ".join(str(p) for p in self.residual) or "none"
+        self.label = (
+            f"Fetch({strategy.name}; {mode}; residual: {residual_text})"
+        )
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Result:
+        child_result = self.child.execute(ctx)
+        if child_result.n_rows == 0:
+            return child_result
+        if self.verify_only:
+            fetched = self.strategy.fetch(
+                ctx, self.table, child_result.rids, columns=[], residual=[]
+            )
+            # Visibility verification keeps the child's (index) columns but
+            # the rid order of the fetch.
+            order = np.argsort(child_result.rids, kind="stable")
+            sorted_child_rids = child_result.rids[order]
+            if not np.array_equal(np.sort(fetched.rids), sorted_child_rids):
+                raise PlanError("verify-only fetch changed the rid set")
+            columns = {
+                name: values[order] for name, values in child_result.columns.items()
+            }
+            return Result(sorted_child_rids, columns)
+        return self.strategy.fetch(
+            ctx,
+            self.table,
+            child_result.rids,
+            columns=self.project,
+            residual=self.residual,
+        )
+
+
+def _sort_rids_charged(
+    ctx: ExecContext, rids: np.ndarray, payload_bytes_per_row: int = 16
+) -> np.ndarray:
+    """Sort a rid array, charging CPU and spilling if memory is tight."""
+    n_bytes = rids.size * payload_bytes_per_row
+    grant = ctx.broker.try_grant(n_bytes)
+    ctx.charge_sort_cpu(rids.size)
+    if grant is None:
+        # Workspace overflow: write the run out and read it back (one
+        # round trip) — a single extra pass, charged sequentially.
+        spill = ctx.temp.write_run(rids.size, payload_bytes_per_row)
+        ctx.temp.read_run_fully(spill)
+    else:
+        grant.release()
+    return np.sort(rids)
+
+
+class RidIntersectNode(PlanNode):
+    """Intersect two rid sets by merge join or hash join.
+
+    Merge sorts both inputs by rid and merges — cost symmetric in the two
+    inputs (Fig 5).  Hash builds on one side and probes the other — cost
+    asymmetric, and the join order (``build``) matters.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        algorithm: str = "merge",
+        build: str = "left",
+    ) -> None:
+        if algorithm not in ("merge", "hash"):
+            raise PlanError(f"unknown intersection algorithm {algorithm!r}")
+        if build not in ("left", "right"):
+            raise PlanError(f"build side must be 'left' or 'right', got {build!r}")
+        self.left = left
+        self.right = right
+        self.algorithm = algorithm
+        self.build = build
+        suffix = f"; build={build}" if algorithm == "hash" else ""
+        self.label = f"RidIntersect({algorithm}{suffix})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def execute(self, ctx: ExecContext) -> Result:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        profile = ctx.profile
+        if self.algorithm == "merge":
+            left_sorted = _sort_rids_charged(ctx, left.rids)
+            right_sorted = _sort_rids_charged(ctx, right.rids)
+            ctx.charge(left.n_rows + right.n_rows, profile.cpu_compare)
+            common, left_idx, right_idx = np.intersect1d(
+                left_sorted, right_sorted, assume_unique=True, return_indices=True
+            )
+            # Map positions in the sorted arrays back to original rows.
+            left_order = np.argsort(left.rids, kind="stable")
+            right_order = np.argsort(right.rids, kind="stable")
+            left_pos = left_order[left_idx]
+            right_pos = right_order[right_idx]
+        else:
+            build_res, probe_res = (
+                (left, right) if self.build == "left" else (right, left)
+            )
+            n_bytes = build_res.n_rows * 32
+            grant = ctx.broker.try_grant(n_bytes)
+            if grant is None:
+                # Grace hash join: partition both inputs to temp and read
+                # them back — one extra sequential pass over both sides.
+                for side in (build_res, probe_res):
+                    if side.n_rows:
+                        spill = ctx.temp.write_run(side.n_rows, 16)
+                        ctx.temp.read_run_fully(spill)
+            else:
+                grant.release()
+            # Building (insert + bucket maintenance) costs more per row
+            # than probing -- the physical reason join order matters.
+            ctx.charge(build_res.n_rows, 2 * profile.cpu_hash)
+            ctx.charge(probe_res.n_rows, profile.cpu_hash)
+            common, left_idx_u, right_idx_u = np.intersect1d(
+                left.rids, right.rids, assume_unique=True, return_indices=True
+            )
+            left_pos = left_idx_u
+            right_pos = right_idx_u
+        columns = {
+            name: values[left_pos] for name, values in left.columns.items()
+        }
+        for name, values in right.columns.items():
+            if name not in columns:
+                columns[name] = values[right_pos]
+        ctx.charge(common.size, profile.cpu_row)
+        ctx.check_budget()
+        return Result(np.asarray(common, dtype=np.int64), columns)
+
+
+class CoveringCompositeScanNode(PlanNode):
+    """Covering scan of a composite index: plain range scan or MDAM.
+
+    Never fetches base rows — only valid when the system's concurrency
+    control versions index entries (System C; System B cannot run this).
+    """
+
+    def __init__(
+        self,
+        index: SecondaryIndex,
+        leading: ColumnRange,
+        trailing: ColumnRange,
+        use_mdam: bool,
+    ) -> None:
+        codec = index.codec
+        if not isinstance(codec, CompositeKeyCodec) or codec.n_columns != 2:
+            raise PlanError("CoveringCompositeScanNode needs a two-column index")
+        self.index = index
+        self.leading = leading
+        self.trailing = trailing
+        self.use_mdam = use_mdam
+        kind = "MDAM" if use_mdam else "range+filter"
+        self.label = f"CoveringCompositeScan({index.name}; {kind})"
+        self._plain = (
+            None
+            if use_mdam
+            else CompositeRangeRidsNode(index, leading, trailing)
+        )
+
+    def execute(self, ctx: ExecContext) -> Result:
+        codec: CompositeKeyCodec = self.index.codec  # type: ignore[assignment]
+        maxima = tuple((1 << b) - 1 for b in codec.bits)
+        if self.use_mdam:
+            lead_lo = max(0, self.leading.lo)
+            lead_hi = min(self.leading.hi, maxima[0])
+            trail_lo = max(0, self.trailing.lo)
+            trail_hi = min(self.trailing.hi, maxima[1])
+            if lead_lo > lead_hi or trail_lo > trail_hi:
+                return Result.empty()
+            return mdam_scan(
+                ctx, self.index, (lead_lo, lead_hi), (trail_lo, trail_hi)
+            )
+        assert self._plain is not None
+        return self._plain.execute(ctx)
+
+
+class MdamScanNode(CoveringCompositeScanNode):
+    """Convenience alias: covering composite scan with MDAM enabled."""
+
+    def __init__(
+        self, index: SecondaryIndex, leading: ColumnRange, trailing: ColumnRange
+    ) -> None:
+        super().__init__(index, leading, trailing, use_mdam=True)
+        self.label = f"MdamScan({index.name}; {leading}; {trailing})"
+
+
+class CoveringRidJoinNode(PlanNode):
+    """Join a rid set with a full scan of a value index (Fig 2's plans).
+
+    The join result covers the query even though no single non-clustered
+    index does: the child provides qualifying rids, the value index
+    provides (value, rid) pairs for the projected column, and joining on
+    rid avoids fetching base rows entirely.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        value_index: SecondaryIndex,
+        algorithm: str = "hash",
+        build: str = "child",
+    ) -> None:
+        if len(value_index.key_columns) != 1:
+            raise PlanError("CoveringRidJoinNode needs a single-column value index")
+        if algorithm not in ("merge", "hash"):
+            raise PlanError(f"unknown join algorithm {algorithm!r}")
+        if build not in ("child", "index"):
+            raise PlanError(f"build side must be 'child' or 'index', got {build!r}")
+        self.child = child
+        self.value_index = value_index
+        self.algorithm = algorithm
+        self.build = build
+        suffix = f"; build={build}" if algorithm == "hash" else ""
+        self.label = f"CoveringRidJoin({value_index.name}; {algorithm}{suffix})"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Result:
+        child = self.child.execute(ctx)
+        profile = ctx.profile
+        value_keys, value_rids = self.value_index.scan_all(charge=True)
+        n_index = value_keys.size
+        ctx.charge(n_index, profile.cpu_row)
+        if self.algorithm == "merge":
+            child_sorted = _sort_rids_charged(ctx, child.rids)
+            _sorted_index_rids = _sort_rids_charged(ctx, value_rids)
+            ctx.charge(child.n_rows + n_index, profile.cpu_compare)
+        else:
+            build_rows = child.n_rows if self.build == "child" else n_index
+            probe_rows = n_index if self.build == "child" else child.n_rows
+            grant = ctx.broker.try_grant(build_rows * 32)
+            if grant is None:
+                for rows in (build_rows, probe_rows):
+                    if rows:
+                        spill = ctx.temp.write_run(rows, 16)
+                        ctx.temp.read_run_fully(spill)
+            else:
+                grant.release()
+            ctx.charge(build_rows, 2 * profile.cpu_hash)
+            ctx.charge(probe_rows, profile.cpu_hash)
+        common, child_idx, index_idx = np.intersect1d(
+            child.rids, value_rids, assume_unique=True, return_indices=True
+        )
+        columns = {name: values[child_idx] for name, values in child.columns.items()}
+        columns[self.value_index.key_columns[0]] = np.asarray(
+            value_keys, dtype=np.int64
+        )[index_idx]
+        ctx.charge(common.size, profile.cpu_row)
+        ctx.check_budget()
+        return Result(np.asarray(common, dtype=np.int64), columns)
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MeasuredRun:
+    """One cold-cache measurement of one plan."""
+
+    plan_label: str
+    seconds: float
+    aborted: bool
+    n_rows: int
+    rid_checksum: int
+    io: DiskStats
+
+    @property
+    def censored(self) -> bool:
+        """True when the run hit its cost budget (cost is a lower bound)."""
+        return self.aborted
+
+
+class PlanRunner:
+    """Measures plans under cold-cache conditions on the virtual clock."""
+
+    def __init__(
+        self,
+        env: StorageEnv,
+        memory_bytes: int | None = None,
+        budget_seconds: float | None = None,
+        cold: bool = True,
+    ) -> None:
+        self.env = env
+        self.memory_bytes = memory_bytes
+        self.budget_seconds = budget_seconds
+        self.cold = cold
+
+    def measure(self, plan: PlanNode) -> MeasuredRun:
+        """Run the plan once and return its measured virtual cost."""
+        if self.cold:
+            self.env.cold_reset()
+        ctx = ExecContext(
+            self.env,
+            memory_bytes=self.memory_bytes,
+            budget_seconds=self.budget_seconds,
+        )
+        before = self.env.disk.stats.snapshot()
+        ctx.arm_budget()
+        aborted = False
+        result: Result | None = None
+        with self.env.stopwatch() as watch:
+            try:
+                result = plan.execute(ctx)
+            except CostBudgetExceeded:
+                aborted = True
+        io_delta = self.env.disk.stats.delta(before)
+        return MeasuredRun(
+            plan_label=plan.label,
+            seconds=watch.elapsed,
+            aborted=aborted,
+            n_rows=result.n_rows if result is not None else -1,
+            rid_checksum=result.rid_checksum() if result is not None else 0,
+            io=io_delta,
+        )

@@ -1,0 +1,57 @@
+"""Predicates over integer columns.
+
+Every query in the paper's evaluation is a conjunction of range predicates
+(``col BETWEEN lo AND hi``); selectivity sweeps are realized by widening
+or narrowing these ranges (see :mod:`repro.workloads.selectivity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class ColumnRange:
+    """Inclusive range predicate ``lo <= column <= hi``."""
+
+    column: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise PlanError(
+                f"range on {self.column!r} is empty-by-construction: "
+                f"[{self.lo}, {self.hi}]"
+            )
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Boolean qualification mask for a value array."""
+        return (values >= self.lo) & (values <= self.hi)
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"{self.lo} <= {self.column} <= {self.hi}"
+
+
+def apply_predicates(
+    columns: dict[str, np.ndarray],
+    predicates: list[ColumnRange],
+) -> np.ndarray:
+    """Conjunction mask of all predicates over the given columns."""
+    if not predicates:
+        raise PlanError("apply_predicates needs at least one predicate")
+    mask: np.ndarray | None = None
+    for predicate in predicates:
+        if predicate.column not in columns:
+            raise PlanError(f"predicate column {predicate.column!r} not available")
+        clause = predicate.mask(columns[predicate.column])
+        mask = clause if mask is None else (mask & clause)
+    assert mask is not None
+    return mask

@@ -1,0 +1,40 @@
+"""Plan execution results.
+
+A :class:`Result` carries the row ids that qualified plus any materialized
+output columns.  Row ids double as the cross-plan correctness oracle: two
+plans for the same query must produce the same rid set regardless of how
+differently they are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Result:
+    """Output of one plan (or sub-plan) execution."""
+
+    rids: np.ndarray
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rids.size)
+
+    def rid_checksum(self) -> int:
+        """Order-independent checksum of the rid set (for plan agreement)."""
+        if self.rids.size == 0:
+            return 0
+        rids = np.sort(np.asarray(self.rids, dtype=np.uint64))
+        mixed = (rids * np.uint64(0x9E3779B97F4A7C15)) ^ (rids >> np.uint64(7))
+        return int(np.bitwise_xor.reduce(mixed) ^ np.uint64(rids.size))
+
+    def sorted_rids(self) -> np.ndarray:
+        return np.sort(self.rids)
+
+    @staticmethod
+    def empty() -> "Result":
+        return Result(np.empty(0, dtype=np.int64), {})

@@ -1,0 +1,26 @@
+"""Virtual-time device simulation.
+
+The paper measures *actual run-time behaviour* of query plans on real
+hardware.  This package supplies the reproduction's substitute for that
+hardware: a deterministic virtual clock plus explicit device models (disk
+with seek/transfer costs, CPU cost constants, temp storage for spills).
+Operators in :mod:`repro.executor` process real data and charge virtual
+time here, so measured costs emerge from actual access patterns rather
+than from closed-form estimates.
+"""
+
+from repro.sim.clock import SimClock, Stopwatch
+from repro.sim.profile import DeviceProfile
+from repro.sim.disk import Disk, DiskStats, FileHandle
+from repro.sim.temp import TempStore, SpillFile
+
+__all__ = [
+    "SimClock",
+    "Stopwatch",
+    "DeviceProfile",
+    "Disk",
+    "DiskStats",
+    "FileHandle",
+    "TempStore",
+    "SpillFile",
+]

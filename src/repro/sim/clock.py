@@ -1,0 +1,65 @@
+"""Virtual clock used for all cost accounting.
+
+Every device model and operator charges time against a single
+:class:`SimClock`, so an experiment's "measured" elapsed time is simply the
+clock delta around plan execution.  Virtual time is deterministic: the same
+plan over the same data always measures the same cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class SimClock:
+    """A monotonically advancing virtual clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ExecutionError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds since clock creation."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ExecutionError(f"cannot advance clock by negative time {seconds!r}")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f}s)"
+
+
+class Stopwatch:
+    """Measures elapsed virtual time across a region of execution.
+
+    Usage::
+
+        watch = Stopwatch(clock)
+        with watch:
+            run_plan(...)
+        elapsed = watch.elapsed
+    """
+
+    __slots__ = ("_clock", "_start", "elapsed")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise ExecutionError("stopwatch exited without entering")
+        self.elapsed = self._clock.now - self._start
+        self._start = None

@@ -1,0 +1,618 @@
+"""B+-tree with fat NumPy leaves.
+
+One tree class serves as the clustered index (payload = all table columns,
+key = row id), single-column secondary indexes (payload = row ids), and
+composite-key secondary indexes (encoded keys, payload = row ids).
+
+Design notes
+------------
+* **Bulk load** places leaves on consecutive page numbers, which is why a
+  full leaf scan is charged as sequential I/O; nodes created later by
+  splits get fresh page numbers at the end of the file, so a heavily
+  updated tree genuinely loses scan locality.
+* **Point operations** (probe, insert, delete) walk the real node
+  structure and charge one buffer-pool access per node on the path.
+* **Bulk reads** use a lazily rebuilt *flat view* (all keys/payloads
+  concatenated, plus leaf boundary offsets) so NumPy does the heavy
+  lifting, while I/O is still charged per leaf page actually covered.
+* **Deletion policy** is free-at-empty (nodes are unlinked only when they
+  become empty, as in Johnson & Shasha's free-at-empty B-trees) — simpler
+  than eager rebalancing and sufficient for the workloads here; the
+  ``validate()`` invariants reflect that policy.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.sim.disk import FileHandle
+from repro.storage.env import StorageEnv
+
+_INNER_ENTRY_BYTES = 16  # separator key + child pointer
+
+
+class _Leaf:
+    __slots__ = ("keys", "payload", "next_leaf", "page_no")
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        payload: dict[str, np.ndarray],
+        page_no: int,
+    ) -> None:
+        self.keys = keys
+        self.payload = payload
+        self.next_leaf: "_Leaf | None" = None
+        self.page_no = page_no
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.keys.size)
+
+
+class _Inner:
+    __slots__ = ("separators", "children", "page_no")
+
+    def __init__(self, separators: list[int], children: list, page_no: int) -> None:
+        self.separators = separators
+        self.children = children
+        self.page_no = page_no
+
+
+class _FlatView:
+    """Concatenated leaf contents plus leaf boundary metadata."""
+
+    __slots__ = ("keys", "payload", "leaf_starts", "leaf_pages")
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        payload: dict[str, np.ndarray],
+        leaf_starts: np.ndarray,
+        leaf_pages: np.ndarray,
+    ) -> None:
+        self.keys = keys
+        self.payload = payload
+        self.leaf_starts = leaf_starts  # length n_leaves + 1, prefix offsets
+        self.leaf_pages = leaf_pages  # page number of each leaf, chain order
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_pages.size)
+
+    def leaf_index_of(self, positions: np.ndarray) -> np.ndarray:
+        """Leaf index (chain order) containing each flat position."""
+        return np.searchsorted(self.leaf_starts, positions, side="right") - 1
+
+    def pages_for_span(self, start: int, end: int) -> np.ndarray:
+        """Sorted unique page numbers of leaves overlapping [start, end)."""
+        if end <= start:
+            return np.empty(0, dtype=np.int64)
+        first = int(np.searchsorted(self.leaf_starts, start, side="right") - 1)
+        last = int(np.searchsorted(self.leaf_starts, end - 1, side="right") - 1)
+        return np.unique(self.leaf_pages[first : last + 1])
+
+
+class BPlusTree:
+    """Disk-resident B+-tree over int64 keys (see module docstring)."""
+
+    def __init__(
+        self,
+        env: StorageEnv,
+        name: str,
+        entry_bytes: int = 16,
+        leaf_capacity: int | None = None,
+        inner_fanout: int | None = None,
+    ) -> None:
+        if entry_bytes <= 0:
+            raise StorageError(f"entry_bytes must be positive, got {entry_bytes}")
+        self._env = env
+        self.name = name
+        self.entry_bytes = entry_bytes
+        profile = env.profile
+        self.leaf_capacity = leaf_capacity or max(2, profile.page_size // entry_bytes)
+        self.inner_fanout = inner_fanout or max(
+            4, profile.page_size // _INNER_ENTRY_BYTES
+        )
+        self.handle: FileHandle = env.disk.create_file(name)
+        self._next_page = 0
+        self._root: _Leaf | _Inner = _Leaf(
+            np.empty(0, dtype=np.int64), {}, self._allocate_page()
+        )
+        self._first_leaf: _Leaf = self._root
+        self._payload_names: tuple[str, ...] = ()
+        self._flat: _FlatView | None = None
+        self._n_entries = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _allocate_page(self) -> int:
+        page = self._next_page
+        self._next_page += 1
+        return page
+
+    def bulk_load(
+        self,
+        keys: np.ndarray,
+        payload: Mapping[str, np.ndarray],
+        fill_factor: float = 1.0,
+    ) -> "BPlusTree":
+        """Build the tree from sorted keys and aligned payload columns.
+
+        Leaves receive consecutive page numbers so that a post-load leaf
+        scan is physically sequential.  Returns ``self`` for chaining.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size > 1 and np.any(np.diff(keys) < 0):
+            raise StorageError("bulk_load requires keys in ascending order")
+        if not 0.1 <= fill_factor <= 1.0:
+            raise StorageError(f"fill_factor must be in [0.1, 1], got {fill_factor}")
+        for column_name, values in payload.items():
+            if len(values) != keys.size:
+                raise StorageError(
+                    f"payload column {column_name!r} length {len(values)} "
+                    f"!= key count {keys.size}"
+                )
+        self._payload_names = tuple(payload)
+        self._next_page = 0
+        self._n_entries = int(keys.size)
+        per_leaf = max(2, int(self.leaf_capacity * fill_factor))
+
+        leaves: list[_Leaf] = []
+        if keys.size == 0:
+            leaves.append(_Leaf(keys, {n: np.asarray(v) for n, v in payload.items()}, self._allocate_page()))
+        else:
+            for start in range(0, keys.size, per_leaf):
+                stop = min(start + per_leaf, keys.size)
+                chunk_payload = {
+                    name: np.asarray(values[start:stop]) for name, values in payload.items()
+                }
+                leaves.append(_Leaf(keys[start:stop], chunk_payload, self._allocate_page()))
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+        self._first_leaf = leaves[0]
+
+        level: list[_Leaf | _Inner] = list(leaves)
+        while len(level) > 1:
+            parents: list[_Leaf | _Inner] = []
+            for start in range(0, len(level), self.inner_fanout):
+                group = level[start : start + self.inner_fanout]
+                separators = [self._min_key(node) for node in group[1:]]
+                parents.append(_Inner(separators, list(group), self._allocate_page()))
+            level = parents
+        self._root = level[0]
+        self._flat = None
+        return self
+
+    @staticmethod
+    def _min_key(node: "_Leaf | _Inner") -> int:
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        if node.keys.size == 0:
+            raise StorageError("empty leaf has no minimum key")
+        return int(node.keys[0])
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return self._n_entries
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = root is a leaf)."""
+        levels = 1
+        node = self._root
+        while isinstance(node, _Inner):
+            levels += 1
+            node = node.children[0]
+        return levels
+
+    @property
+    def n_pages(self) -> int:
+        """Pages ever allocated to this tree."""
+        return self._next_page
+
+    @property
+    def n_leaves(self) -> int:
+        return self.flat.n_leaves
+
+    @property
+    def n_leaf_pages(self) -> int:
+        return self.flat.n_leaves
+
+    @property
+    def flat(self) -> _FlatView:
+        """The flat (concatenated-leaves) view, rebuilt after mutations."""
+        if self._flat is None:
+            self._flat = self._build_flat()
+        return self._flat
+
+    def _build_flat(self) -> _FlatView:
+        key_chunks: list[np.ndarray] = []
+        payload_chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in self._payload_names
+        }
+        starts = [0]
+        pages = []
+        leaf: _Leaf | None = self._first_leaf
+        total = 0
+        while leaf is not None:
+            key_chunks.append(leaf.keys)
+            for name in self._payload_names:
+                payload_chunks[name].append(leaf.payload[name])
+            total += leaf.n_entries
+            starts.append(total)
+            pages.append(leaf.page_no)
+            leaf = leaf.next_leaf
+        keys = (
+            np.concatenate(key_chunks) if key_chunks else np.empty(0, dtype=np.int64)
+        )
+        payload = {
+            name: (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty(0)
+            )
+            for name, chunks in payload_chunks.items()
+        }
+        return _FlatView(
+            keys,
+            payload,
+            np.asarray(starts, dtype=np.int64),
+            np.asarray(pages, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # point operations (walk the real structure, charge per node)
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: int, for_insert: bool = False) -> list[tuple[_Inner, int]]:
+        """Path of (inner node, taken child index) from root to leaf parent."""
+        path: list[tuple[_Inner, int]] = []
+        node = self._root
+        while isinstance(node, _Inner):
+            if for_insert:
+                child_idx = bisect.bisect_right(node.separators, key)
+            else:
+                child_idx = bisect.bisect_left(node.separators, key)
+            path.append((node, child_idx))
+            node = node.children[child_idx]
+        return path
+
+    def _charge_descent(self, path: list[tuple[_Inner, int]], leaf: _Leaf | None) -> None:
+        pool = self._env.pool
+        for inner, _child in path:
+            pool.get(self.handle, inner.page_no)
+        if leaf is not None:
+            pool.get(self.handle, leaf.page_no)
+        self._env.charge_cpu(1, self._env.profile.btree_probe_cpu)
+
+    def _leaf_for(self, path: list[tuple[_Inner, int]]) -> _Leaf:
+        node = self._root if not path else path[-1][0].children[path[-1][1]]
+        if isinstance(node, _Inner):  # pragma: no cover - defensive
+            raise StorageError("descent did not reach a leaf")
+        return node
+
+    def probe(self, key: int, charge: bool = True) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Return (keys, payload) of entries equal to ``key`` (may be empty).
+
+        Walks the real node structure; charges one pool access per node
+        plus probe CPU when ``charge`` is set.  Duplicate keys spanning a
+        leaf boundary are followed through the leaf chain.
+        """
+        path = self._descend(key)
+        leaf = self._leaf_for(path)
+        if charge:
+            self._charge_descent(path, leaf)
+        key_parts: list[np.ndarray] = []
+        payload_parts: dict[str, list[np.ndarray]] = {
+            name: [] for name in self._payload_names
+        }
+        current: _Leaf | None = leaf
+        first_leaf_visit = True
+        while current is not None:
+            if charge and not first_leaf_visit:
+                self._env.pool.get(self.handle, current.page_no)
+            first_leaf_visit = False
+            lo = int(np.searchsorted(current.keys, key, side="left"))
+            hi = int(np.searchsorted(current.keys, key, side="right"))
+            if hi > lo:
+                key_parts.append(current.keys[lo:hi])
+                for name in self._payload_names:
+                    payload_parts[name].append(current.payload[name][lo:hi])
+            if hi < current.n_entries:
+                break  # saw a key beyond the target; no more duplicates
+            current = current.next_leaf
+        keys = (
+            np.concatenate(key_parts) if key_parts else np.empty(0, dtype=np.int64)
+        )
+        payload = {
+            name: (np.concatenate(parts) if parts else np.empty(0))
+            for name, parts in payload_parts.items()
+        }
+        return keys, payload
+
+    def next_key_after(self, key: int, charge: bool = True) -> int | None:
+        """Smallest stored key strictly greater than ``key`` (MDAM probe)."""
+        flat = self.flat
+        pos = int(np.searchsorted(flat.keys, key, side="right"))
+        if charge:
+            path = self._descend(key)
+            self._charge_descent(path, self._leaf_for(path))
+        if pos >= flat.n_entries:
+            return None
+        return int(flat.keys[pos])
+
+    def insert(self, key: int, payload_row: Mapping[str, object], charge: bool = True) -> None:
+        """Insert one entry, splitting nodes as needed."""
+        if self._n_entries == 0 and not self._payload_names:
+            self._payload_names = tuple(payload_row)
+        if set(payload_row) != set(self._payload_names):
+            raise StorageError(
+                f"payload columns {sorted(payload_row)} != schema "
+                f"{sorted(self._payload_names)}"
+            )
+        path = self._descend(key, for_insert=True)
+        leaf = self._leaf_for(path)
+        if charge:
+            self._charge_descent(path, leaf)
+        pos = int(np.searchsorted(leaf.keys, key, side="right"))
+        leaf.keys = np.insert(leaf.keys, pos, key)
+        for name in self._payload_names:
+            existing = leaf.payload.get(name)
+            if existing is None or existing.size == 0:
+                existing = np.empty(0, dtype=np.asarray([payload_row[name]]).dtype)
+            leaf.payload[name] = np.insert(existing, pos, payload_row[name])
+        self._n_entries += 1
+        self._flat = None
+        if leaf.n_entries > self.leaf_capacity:
+            self._split_leaf(leaf, path)
+
+    def _split_leaf(self, leaf: _Leaf, path: list[tuple[_Inner, int]]) -> None:
+        mid = leaf.n_entries // 2
+        right = _Leaf(
+            leaf.keys[mid:].copy(),
+            {name: values[mid:].copy() for name, values in leaf.payload.items()},
+            self._allocate_page(),
+        )
+        leaf.keys = leaf.keys[:mid].copy()
+        leaf.payload = {name: values[:mid].copy() for name, values in leaf.payload.items()}
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        self._insert_into_parent(leaf, int(right.keys[0]), right, path)
+
+    def _insert_into_parent(
+        self,
+        left: "_Leaf | _Inner",
+        separator: int,
+        right: "_Leaf | _Inner",
+        path: list[tuple[_Inner, int]],
+    ) -> None:
+        if not path:
+            new_root = _Inner([separator], [left, right], self._allocate_page())
+            self._root = new_root
+            return
+        parent, child_idx = path[-1]
+        parent.separators.insert(child_idx, separator)
+        parent.children.insert(child_idx + 1, right)
+        if len(parent.children) > self.inner_fanout:
+            self._split_inner(parent, path[:-1])
+
+    def _split_inner(self, inner: _Inner, path: list[tuple[_Inner, int]]) -> None:
+        separators = inner.separators
+        mid = len(separators) // 2
+        promoted = separators[mid]
+        right = _Inner(
+            separators[mid + 1 :],
+            inner.children[mid + 1 :],
+            self._allocate_page(),
+        )
+        inner.separators = separators[:mid]
+        inner.children = inner.children[: mid + 1]
+        self._insert_into_parent(inner, promoted, right, path)
+
+    def delete(self, key: int, charge: bool = True) -> bool:
+        """Delete the first entry equal to ``key``; True if one existed.
+
+        Uses the free-at-empty policy: a leaf is unlinked from its parent
+        only when it becomes completely empty.
+        """
+        path = self._descend(key)
+        leaf = self._leaf_for(path)
+        if charge:
+            self._charge_descent(path, leaf)
+        # With duplicates the first occurrence may be one leaf to the right.
+        pos = int(np.searchsorted(leaf.keys, key, side="left"))
+        while pos == leaf.n_entries:
+            if leaf.next_leaf is None:
+                return False
+            leaf = leaf.next_leaf
+            if charge:
+                self._env.pool.get(self.handle, leaf.page_no)
+            pos = int(np.searchsorted(leaf.keys, key, side="left"))
+        if pos >= leaf.n_entries or leaf.keys[pos] != key:
+            return False
+        leaf.keys = np.delete(leaf.keys, pos)
+        leaf.payload = {
+            name: np.delete(values, pos) for name, values in leaf.payload.items()
+        }
+        self._n_entries -= 1
+        self._flat = None
+        if leaf.n_entries == 0:
+            self._free_empty_leaf(leaf)
+        return True
+
+    def _free_empty_leaf(self, leaf: _Leaf) -> None:
+        if leaf is self._first_leaf and leaf.next_leaf is None:
+            return  # a tree keeps at least one (possibly empty) leaf
+        prev = self._previous_leaf(leaf)
+        if prev is not None:
+            prev.next_leaf = leaf.next_leaf
+        else:
+            self._first_leaf = leaf.next_leaf  # type: ignore[assignment]
+        self._unlink_child(self._root, leaf)
+        self._collapse_root()
+
+    def _previous_leaf(self, target: _Leaf) -> _Leaf | None:
+        leaf: _Leaf | None = self._first_leaf
+        if leaf is target:
+            return None
+        while leaf is not None and leaf.next_leaf is not target:
+            leaf = leaf.next_leaf
+        return leaf
+
+    def _unlink_child(self, node: "_Leaf | _Inner", target: _Leaf) -> bool:
+        if not isinstance(node, _Inner):
+            return False
+        for index, child in enumerate(node.children):
+            if child is target:
+                node.children.pop(index)
+                if node.separators:
+                    node.separators.pop(max(0, index - 1))
+                return True
+            if isinstance(child, _Inner) and self._unlink_child(child, target):
+                if not child.children:
+                    node.children.pop(index)
+                    if node.separators:
+                        node.separators.pop(max(0, index - 1))
+                return True
+        return False
+
+    def _collapse_root(self) -> None:
+        while isinstance(self._root, _Inner) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+
+    # ------------------------------------------------------------------
+    # bulk reads (flat view, streamed I/O)
+    # ------------------------------------------------------------------
+
+    def span_for_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Flat positions [start, end) of keys in the inclusive [lo, hi]."""
+        flat = self.flat
+        start = int(np.searchsorted(flat.keys, lo, side="left"))
+        end = int(np.searchsorted(flat.keys, hi, side="right"))
+        return start, end
+
+    def read_range(
+        self, lo: int, hi: int, charge: bool = True
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Read all entries with key in the inclusive range [lo, hi].
+
+        Charges one descent (to locate the range) plus streamed reads of
+        every leaf page the range covers.  Returns NumPy views — callers
+        must not mutate them.
+        """
+        start, end = self.span_for_range(lo, hi)
+        if charge:
+            path = self._descend(lo)
+            self._charge_descent(path, None)
+            pages = self.flat.pages_for_span(start, end)
+            if pages.size:
+                self._env.disk.read_scattered(self.handle, pages)
+        flat = self.flat
+        keys = flat.keys[start:end]
+        payload = {name: values[start:end] for name, values in flat.payload.items()}
+        return keys, payload
+
+    def scan_all(self, charge: bool = True) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Full leaf scan in key order (sequential after bulk load)."""
+        flat = self.flat
+        if charge and flat.n_entries:
+            pages = np.unique(flat.leaf_pages)
+            self._env.disk.read_scattered(self.handle, pages)
+        return flat.keys, dict(flat.payload)
+
+    def iter_leaves(self) -> Iterator[tuple[np.ndarray, dict[str, np.ndarray]]]:
+        """Walk the physical leaf chain (no charging; for tests/tools)."""
+        leaf: _Leaf | None = self._first_leaf
+        while leaf is not None:
+            yield leaf.keys, leaf.payload
+            leaf = leaf.next_leaf
+
+    # ------------------------------------------------------------------
+    # integrity checking
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises StorageError on violation.
+
+        Checked invariants: keys ascending within each leaf and across the
+        leaf chain; every leaf reachable from the root exactly once and in
+        chain order; separator keys bound their subtrees; uniform leaf
+        depth; entry count consistency.
+        """
+        reachable: list[_Leaf] = []
+        leaf_depths: set[int] = set()
+        self._collect_leaves(self._root, reachable, depth=0, depths=leaf_depths)
+        if len(leaf_depths) > 1:
+            raise StorageError(f"leaves at multiple depths: {sorted(leaf_depths)}")
+        chain: list[_Leaf] = []
+        leaf: _Leaf | None = self._first_leaf
+        while leaf is not None:
+            chain.append(leaf)
+            leaf = leaf.next_leaf
+        if [id(leaf) for leaf in reachable] != [id(leaf) for leaf in chain]:
+            raise StorageError("leaf chain does not match root-reachable leaves")
+        previous_max: int | None = None
+        total = 0
+        for leaf in chain:
+            if leaf.n_entries:
+                keys = leaf.keys
+                if np.any(np.diff(keys) < 0):
+                    raise StorageError("keys not ascending within a leaf")
+                if previous_max is not None and keys[0] < previous_max:
+                    raise StorageError("keys not ascending across leaves")
+                previous_max = int(keys[-1])
+            total += leaf.n_entries
+            for name, values in leaf.payload.items():
+                if len(values) != leaf.n_entries:
+                    raise StorageError(f"payload {name!r} misaligned in leaf")
+        if total != self._n_entries:
+            raise StorageError(
+                f"entry count mismatch: counted {total}, tracked {self._n_entries}"
+            )
+        self._validate_separators(self._root, None, None)
+
+    def _collect_leaves(self, node, out: list, depth: int, depths: set[int]) -> None:
+        if isinstance(node, _Inner):
+            if len(node.separators) != len(node.children) - 1:
+                raise StorageError(
+                    f"inner node has {len(node.separators)} separators for "
+                    f"{len(node.children)} children"
+                )
+            for child in node.children:
+                self._collect_leaves(child, out, depth + 1, depths)
+        else:
+            depths.add(depth)
+            out.append(node)
+
+    def _validate_separators(self, node, lo: int | None, hi: int | None) -> None:
+        if isinstance(node, _Inner):
+            separators = node.separators
+            if any(b < a for a, b in zip(separators, separators[1:])):
+                raise StorageError("separators not ascending")
+            bounds = [lo, *separators, hi]
+            for child, (child_lo, child_hi) in zip(
+                node.children, zip(bounds[:-1], bounds[1:])
+            ):
+                self._validate_separators(child, child_lo, child_hi)
+        else:
+            if node.n_entries == 0:
+                return
+            if lo is not None and node.keys[0] < lo:
+                raise StorageError("leaf key below its subtree lower bound")
+            if hi is not None and node.keys[-1] > hi:
+                raise StorageError("leaf key above its subtree upper bound")

@@ -1,0 +1,115 @@
+"""LRU buffer pool.
+
+Point accesses (B-tree descents, per-row fetches of the *traditional*
+index scan) go through the pool: hits are free, misses charge a disk read
+and may evict the least-recently-used unpinned page.  Bulk sweeps (table
+scans, leaf-range scans, bitmap fetches) deliberately bypass the pool and
+stream from disk, mirroring the scan-resistant ring buffers real engines
+use; keeping the pool for point accesses is what makes repeated fetches of
+a hot page cheap and cold random fetches expensive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import BufferPoolError
+from repro.sim.disk import Disk, FileHandle
+
+
+@dataclass
+class PoolStats:
+    """Hit/miss counters for one :class:`BufferPool`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BufferPool:
+    """Exact-LRU page cache over the shared simulated disk."""
+
+    def __init__(self, disk: Disk, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise BufferPoolError(f"capacity must be positive, got {capacity_pages}")
+        self._disk = disk
+        self._capacity = capacity_pages
+        self._resident: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._pins: dict[tuple[int, int], int] = {}
+        self.stats = PoolStats()
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._capacity
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    def contains(self, handle: FileHandle, page_no: int) -> bool:
+        """Whether the page is currently cached (no LRU touch)."""
+        return (handle.file_id, page_no) in self._resident
+
+    def get(self, handle: FileHandle, page_no: int) -> None:
+        """Access one page: free on hit, charges a disk read on miss."""
+        key = (handle.file_id, page_no)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            self.stats.hits += 1
+            return
+        self.stats.misses += 1
+        self._disk.read_page(handle, page_no)
+        self._admit(key)
+
+    def _admit(self, key: tuple[int, int]) -> None:
+        while len(self._resident) >= self._capacity:
+            self._evict_one()
+        self._resident[key] = None
+
+    def _evict_one(self) -> None:
+        for key in self._resident:
+            if self._pins.get(key, 0) == 0:
+                del self._resident[key]
+                self.stats.evictions += 1
+                return
+        raise BufferPoolError("all pages pinned; cannot evict")
+
+    def pin(self, handle: FileHandle, page_no: int) -> None:
+        """Pin a page so it cannot be evicted (reads it in if absent)."""
+        key = (handle.file_id, page_no)
+        if key not in self._resident:
+            self.get(handle, page_no)
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, handle: FileHandle, page_no: int) -> None:
+        """Release one pin; raises if the page was not pinned."""
+        key = (handle.file_id, page_no)
+        count = self._pins.get(key, 0)
+        if count <= 0:
+            raise BufferPoolError(f"unpin of unpinned page {key}")
+        if count == 1:
+            del self._pins[key]
+        else:
+            self._pins[key] = count - 1
+
+    def pin_count(self, handle: FileHandle, page_no: int) -> int:
+        return self._pins.get((handle.file_id, page_no), 0)
+
+    def clear(self) -> None:
+        """Drop every cached page (cold-cache reset between measurements)."""
+        if any(count > 0 for count in self._pins.values()):
+            raise BufferPoolError("cannot clear pool while pages are pinned")
+        self._resident.clear()
+        self._pins.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = PoolStats()

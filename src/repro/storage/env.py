@@ -1,0 +1,48 @@
+"""Shared storage environment: one clock, disk, buffer pool, temp store.
+
+Every table, index, and operator in an experiment charges virtual time to
+the same :class:`StorageEnv`, so a measured plan cost reflects all device
+interference (e.g. the disk head bouncing between an index and its base
+table during a traditional index scan).
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock, Stopwatch
+from repro.sim.disk import Disk
+from repro.sim.profile import DeviceProfile
+from repro.sim.temp import TempStore
+from repro.storage.buffer_pool import BufferPool
+
+
+class StorageEnv:
+    """Container wiring the simulated devices together."""
+
+    def __init__(
+        self,
+        profile: DeviceProfile | None = None,
+        pool_pages: int = 256,
+    ) -> None:
+        self.profile = profile or DeviceProfile()
+        self.clock = SimClock()
+        self.disk = Disk(self.clock, self.profile)
+        self.pool = BufferPool(self.disk, pool_pages)
+        self.temp = TempStore(self.disk)
+
+    def cold_reset(self) -> None:
+        """Empty the buffer pool and forget disk position.
+
+        Called between measurements so every map cell is a cold-cache run,
+        matching the paper's methodology of independent measurements.
+        """
+        self.pool.clear()
+        self.disk.forget_position()
+
+    def stopwatch(self) -> Stopwatch:
+        """A stopwatch bound to this environment's clock."""
+        return Stopwatch(self.clock)
+
+    def charge_cpu(self, n_items: int, seconds_per_item: float) -> None:
+        """Charge CPU time for ``n_items`` uniform operations."""
+        if n_items:
+            self.clock.advance(n_items * seconds_per_item)

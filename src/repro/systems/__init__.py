@@ -1,0 +1,32 @@
+"""The three systems under test.
+
+The paper measures plans "with data from three real systems" (anonymous
+commercial DBMSs).  Here each system is a configuration of the same
+engine substrate, differing in exactly the capabilities the paper
+describes:
+
+* :class:`SystemA` — single-column non-clustered indexes only; offers the
+  7 plans of §3.3 for the two-predicate query and the table-scan /
+  traditional / improved index-scan trio of Fig 1.
+* :class:`SystemB` — adds two-column indexes, but multi-version
+  concurrency control applies "only to rows in the main table", so every
+  index plan must fetch base rows to verify visibility; its flagship plan
+  sorts the fetches "very efficiently using a bitmap" (Fig 8).
+* :class:`SystemC` — exploits two-column covering indexes fully with
+  multi-dimensional B-tree access (MDAM, [LJBY95]); no fetch at all
+  (Fig 9).
+"""
+
+from repro.systems.base import DatabaseSystem, SystemConfig, build_three_systems
+from repro.systems.system_a import SystemA
+from repro.systems.system_b import SystemB
+from repro.systems.system_c import SystemC
+
+__all__ = [
+    "DatabaseSystem",
+    "SystemConfig",
+    "build_three_systems",
+    "SystemA",
+    "SystemB",
+    "SystemC",
+]

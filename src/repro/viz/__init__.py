@@ -1,0 +1,56 @@
+"""Visualization of robustness maps (SVG, PNG, ASCII; no matplotlib).
+
+Includes the paper's two discrete color scales (Fig 3: absolute decades;
+Fig 6: factor-of-best buckets), log-log curve charts (Figs 1-2), and
+bucket-colored heat maps (Figs 4-10).
+"""
+
+from repro.viz.colormap import (
+    ABSOLUTE_TIME_SCALE,
+    RELATIVE_FACTOR_SCALE,
+    CENSORED_RGB,
+    ColorBucket,
+    DiscreteScale,
+    interpolate_rgb,
+)
+from repro.viz.ascii_art import curve_ascii, heatmap_ascii, legend_ascii
+from repro.viz.svg import SvgDocument, curves_svg, heatmap_svg
+from repro.viz.png import encode_png, save_png, decode_png_size, rasterize_grid
+from repro.viz.legend import legend_svg, legend_pixels
+from repro.viz.figures import (
+    absolute_curves,
+    relative_curves,
+    absolute_heatmap,
+    relative_heatmap,
+    counts_heatmap,
+    heatmap_png_pixels,
+    save_heatmap_png,
+)
+
+__all__ = [
+    "ABSOLUTE_TIME_SCALE",
+    "RELATIVE_FACTOR_SCALE",
+    "CENSORED_RGB",
+    "ColorBucket",
+    "DiscreteScale",
+    "interpolate_rgb",
+    "curve_ascii",
+    "heatmap_ascii",
+    "legend_ascii",
+    "SvgDocument",
+    "curves_svg",
+    "heatmap_svg",
+    "encode_png",
+    "save_png",
+    "decode_png_size",
+    "rasterize_grid",
+    "legend_svg",
+    "legend_pixels",
+    "absolute_curves",
+    "relative_curves",
+    "absolute_heatmap",
+    "relative_heatmap",
+    "counts_heatmap",
+    "heatmap_png_pixels",
+    "save_heatmap_png",
+]

@@ -1,0 +1,117 @@
+"""The paper's discrete color scales.
+
+Fig 3 maps *absolute* elapsed times to colors, "from green to red and
+finally black ... with each color difference indicating an order of
+magnitude".  Fig 6 does the same for *relative* factors, with a special
+light-green bucket for "Factor 1" (optimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VisualizationError
+
+RGB = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ColorBucket:
+    """One [lo, hi) value bucket with its color and legend label."""
+
+    lo: float
+    hi: float
+    rgb: RGB
+    label: str
+
+
+class DiscreteScale:
+    """Ordered list of buckets; values clamp to the first/last bucket."""
+
+    def __init__(self, buckets: list[ColorBucket], title: str) -> None:
+        if not buckets:
+            raise VisualizationError("a scale needs at least one bucket")
+        for left, right in zip(buckets, buckets[1:]):
+            if left.hi != right.lo:
+                raise VisualizationError(
+                    f"buckets not contiguous: {left.hi} != {right.lo}"
+                )
+        self.buckets = buckets
+        self.title = title
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket containing ``value`` (clamped; inf -> last)."""
+        if np.isnan(value):
+            raise VisualizationError("cannot bucket NaN; mask censored cells first")
+        if value == np.inf or value >= self.buckets[-1].hi:
+            return len(self.buckets) - 1
+        if value < self.buckets[0].lo:
+            return 0
+        for index, bucket in enumerate(self.buckets):
+            if bucket.lo <= value < bucket.hi:
+                return index
+        return len(self.buckets) - 1  # pragma: no cover - unreachable
+
+    def bucket_indices(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bucket_index` (NaN raises)."""
+        values = np.asarray(values, dtype=float)
+        if np.any(np.isnan(values)):
+            raise VisualizationError("cannot bucket NaN; mask censored cells first")
+        edges = np.asarray([bucket.lo for bucket in self.buckets[1:]])
+        return np.clip(
+            np.searchsorted(edges, values, side="right"), 0, self.n_buckets - 1
+        )
+
+    def color_for(self, value: float) -> RGB:
+        return self.buckets[self.bucket_index(value)].rgb
+
+    def colorize(self, values: np.ndarray) -> np.ndarray:
+        """Map a value array to an RGB uint8 array (shape + (3,))."""
+        indices = self.bucket_indices(values)
+        palette = np.asarray([bucket.rgb for bucket in self.buckets], dtype=np.uint8)
+        return palette[indices]
+
+
+#: Color used for cells whose measurement was censored by the budget.
+CENSORED_RGB: RGB = (255, 255, 255)
+
+#: Fig 3 — absolute execution time, one bucket per decade of seconds.
+ABSOLUTE_TIME_SCALE = DiscreteScale(
+    [
+        ColorBucket(1e-3, 1e-2, (0, 158, 62), "0.001-0.01 seconds"),
+        ColorBucket(1e-2, 1e-1, (140, 198, 63), "0.01-0.1 seconds"),
+        ColorBucket(1e-1, 1e0, (255, 221, 21), "0.1-1 seconds"),
+        ColorBucket(1e0, 1e1, (247, 148, 29), "1-10 seconds"),
+        ColorBucket(1e1, 1e2, (213, 43, 30), "10-100 seconds"),
+        ColorBucket(1e2, 1e3, (26, 26, 26), "100-1000 seconds"),
+    ],
+    title="Execution time",
+)
+
+#: Fig 6 — performance relative to the best plan, factor buckets.
+RELATIVE_FACTOR_SCALE = DiscreteScale(
+    [
+        ColorBucket(1.0, 1.02, (186, 228, 153), "Factor 1"),
+        ColorBucket(1.02, 1e1, (120, 198, 83), "Factor 1-10"),
+        ColorBucket(1e1, 1e2, (255, 221, 21), "Factor 10-100"),
+        ColorBucket(1e2, 1e3, (247, 148, 29), "Factor 100 - 1,000"),
+        ColorBucket(1e3, 1e4, (213, 43, 30), "Factor 1,000 - 10,000"),
+        ColorBucket(1e4, 1e5, (26, 26, 26), "Factor 10,000 - 100,000"),
+    ],
+    title="Performance relative to best plan",
+)
+
+
+def interpolate_rgb(low: RGB, high: RGB, fraction: float) -> RGB:
+    """Linear interpolation between two colors (for continuous maps)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise VisualizationError(f"fraction must be in [0, 1], got {fraction}")
+    return tuple(
+        int(round(l + (h - l) * fraction)) for l, h in zip(low, high)
+    )  # type: ignore[return-value]

@@ -1,0 +1,187 @@
+"""High-level figure rendering from :class:`~repro.core.mapdata.MapData`.
+
+One function per paper-figure *style*; the bench harness and examples
+combine them with the right sweeps to regenerate Figures 1-10.
+Every function returns the artifact as a string/bytes and can also write
+it to disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mapdata import MapData
+from repro.core.maps import quotient_for, relative_to_best
+from repro.errors import VisualizationError
+from repro.viz.colormap import (
+    ABSOLUTE_TIME_SCALE,
+    CENSORED_RGB,
+    RELATIVE_FACTOR_SCALE,
+    DiscreteScale,
+)
+from repro.viz.png import rasterize_grid, save_png
+from repro.viz.svg import curves_svg, heatmap_svg
+
+
+def _exponents(targets: np.ndarray) -> np.ndarray:
+    return np.log2(np.asarray(targets, dtype=float))
+
+
+def absolute_curves(
+    mapdata: MapData,
+    title: str,
+    plan_ids: list[str] | None = None,
+    path: str | Path | None = None,
+) -> str:
+    """Fig 1 style: absolute cost vs. selectivity, log-log."""
+    if mapdata.is_2d:
+        raise VisualizationError("absolute_curves needs a 1-D map")
+    plan_ids = plan_ids or mapdata.plan_ids
+    series = {plan_id: mapdata.times_for(plan_id) for plan_id in plan_ids}
+    svg = curves_svg(mapdata.x_achieved, series, title=title)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def relative_curves(
+    mapdata: MapData,
+    title: str,
+    plan_ids: list[str] | None = None,
+    baseline_ids: list[str] | None = None,
+    path: str | Path | None = None,
+) -> str:
+    """Fig 2 style: cost relative to the best plan at each point."""
+    if mapdata.is_2d:
+        raise VisualizationError("relative_curves needs a 1-D map")
+    plan_ids = plan_ids or mapdata.plan_ids
+    quotients = relative_to_best(mapdata, plan_ids, baseline_ids)
+    series = {
+        plan_id: np.where(np.isinf(quotients[i]), np.nan, quotients[i])
+        for i, plan_id in enumerate(plan_ids)
+    }
+    svg = curves_svg(
+        mapdata.x_achieved, series, title=title, y_label="factor of best plan"
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def absolute_heatmap(
+    mapdata: MapData,
+    plan_id: str,
+    title: str,
+    scale: DiscreteScale = ABSOLUTE_TIME_SCALE,
+    path: str | Path | None = None,
+) -> str:
+    """Fig 4 / Fig 5 style: one plan's absolute cost over a 2-D grid."""
+    grid = _require_2d(mapdata).times_for(plan_id)
+    svg = heatmap_svg(
+        grid,
+        scale,
+        title,
+        _exponents(mapdata.x_achieved),
+        _exponents(mapdata.y_achieved),
+        x_label=f"selectivity {mapdata.meta.get('a_column', 'A')}",
+        y_label=f"selectivity {mapdata.meta.get('b_column', 'B')}",
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def relative_heatmap(
+    mapdata: MapData,
+    plan_id: str,
+    title: str,
+    baseline_ids: list[str] | None = None,
+    scale: DiscreteScale = RELATIVE_FACTOR_SCALE,
+    path: str | Path | None = None,
+) -> str:
+    """Fig 7/8/9 style: one plan's factor-of-best over a 2-D grid."""
+    mapdata = _require_2d(mapdata)
+    quotient = quotient_for(mapdata, plan_id, baseline_ids)
+    grid = np.where(np.isinf(quotient), np.nan, quotient)
+    svg = heatmap_svg(
+        grid,
+        scale,
+        title,
+        _exponents(mapdata.x_achieved),
+        _exponents(mapdata.y_achieved),
+        x_label=f"selectivity {mapdata.meta.get('a_column', 'A')}",
+        y_label=f"selectivity {mapdata.meta.get('b_column', 'B')}",
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def counts_heatmap(
+    counts: np.ndarray,
+    mapdata: MapData,
+    title: str,
+    path: str | Path | None = None,
+) -> str:
+    """Fig 10 style: number of optimal plans per cell.
+
+    Uses a small categorical scale built on the fly (1, 2-3, 4-7, 8+).
+    """
+    from repro.viz.colormap import ColorBucket, DiscreteScale as _Scale
+
+    scale = _Scale(
+        [
+            ColorBucket(0.0, 1.5, (213, 43, 30), "1 optimal plan"),
+            ColorBucket(1.5, 3.5, (247, 148, 29), "2-3 optimal plans"),
+            ColorBucket(3.5, 7.5, (140, 198, 63), "4-7 optimal plans"),
+            ColorBucket(7.5, 64.0, (0, 158, 62), "8+ optimal plans"),
+        ],
+        title="Plans optimal within tolerance",
+    )
+    svg = heatmap_svg(
+        np.asarray(counts, dtype=float),
+        scale,
+        title,
+        _exponents(mapdata.x_achieved),
+        _exponents(mapdata.y_achieved),
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def heatmap_png_pixels(
+    grid: np.ndarray,
+    scale: DiscreteScale,
+    cell_px: int = 16,
+) -> np.ndarray:
+    """Rasterize a 2-D grid to pixels (paper orientation: y up)."""
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise VisualizationError(f"need a 2-D grid, got {grid.shape}")
+    nx, ny = grid.shape
+    cells = np.zeros((ny, nx, 3), dtype=np.uint8)
+    for ix in range(nx):
+        for iy in range(ny):
+            value = grid[ix, iy]
+            color = CENSORED_RGB if np.isnan(value) else scale.color_for(float(value))
+            cells[ny - 1 - iy, ix] = color
+    return rasterize_grid(cells, cell_px)
+
+
+def save_heatmap_png(
+    grid: np.ndarray,
+    scale: DiscreteScale,
+    path: str | Path,
+    cell_px: int = 16,
+) -> None:
+    """Rasterize and write a 2-D grid as PNG."""
+    save_png(path, heatmap_png_pixels(grid, scale, cell_px))
+
+
+def _require_2d(mapdata: MapData) -> MapData:
+    if not mapdata.is_2d:
+        raise VisualizationError("this figure style needs a 2-D map")
+    return mapdata

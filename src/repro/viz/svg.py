@@ -1,0 +1,267 @@
+"""Hand-rolled SVG rendering for curves and heat maps.
+
+Produces standalone, valid SVG 1.1 documents: log-log line charts for the
+1-D maps (Figs 1-2) and bucket-colored heat maps for the 2-D maps
+(Figs 4-9), each with axes, tick labels, and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.errors import VisualizationError
+from repro.viz.colormap import CENSORED_RGB, RGB, DiscreteScale
+
+#: Line colors for multi-series charts.
+SERIES_PALETTE: list[RGB] = [
+    (31, 119, 180),
+    (255, 127, 14),
+    (44, 160, 44),
+    (214, 39, 40),
+    (148, 103, 189),
+    (140, 86, 75),
+    (227, 119, 194),
+    (127, 127, 127),
+    (188, 189, 34),
+    (23, 190, 207),
+]
+
+
+def _rgb(color: RGB) -> str:
+    return f"rgb({color[0]},{color[1]},{color[2]})"
+
+
+class SvgDocument:
+    """Accumulates SVG elements and serializes a valid document."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise VisualizationError("SVG dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: RGB,
+        stroke: RGB | None = None,
+    ) -> None:
+        stroke_attr = (
+            f' stroke="{_rgb(stroke)}" stroke-width="0.5"' if stroke else ""
+        )
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{_rgb(fill)}"{stroke_attr}/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, color: RGB = (0, 0, 0), width: float = 1.0) -> None:
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{_rgb(color)}" stroke-width="{width}"/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], color: RGB, width: float = 2.0) -> None:
+        if len(points) < 2:
+            return
+        path = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{_rgb(color)}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float, color: RGB) -> None:
+        self._elements.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" fill="{_rgb(color)}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        color: RGB = (0, 0, 0),
+    ) -> None:
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{_rgb(color)}">{escape(content)}</text>'
+        )
+
+    def to_string(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of ten spanning [lo, hi]."""
+    start = math.floor(math.log10(lo))
+    stop = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(start, stop + 1)]
+
+
+def curves_svg(
+    xs: np.ndarray,
+    series: dict[str, np.ndarray],
+    title: str,
+    x_label: str = "selectivity",
+    y_label: str = "seconds",
+    width: int = 760,
+    height: int = 470,
+) -> str:
+    """Log-log multi-series line chart (the Fig 1 / Fig 2 style).
+
+    NaN values (censored measurements) break the polyline, reproducing the
+    paper's truncated traditional-index-scan curve.
+    """
+    xs = np.asarray(xs, dtype=float)
+    if not series:
+        raise VisualizationError("curves_svg needs at least one series")
+    margin_left, margin_right, margin_top, margin_bottom = 70, 170, 40, 50
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    finite_values = np.concatenate(
+        [values[np.isfinite(values) & (values > 0)] for values in series.values()]
+    )
+    if finite_values.size == 0:
+        raise VisualizationError("no finite positive values to plot")
+    y_lo = float(finite_values.min())
+    y_hi = float(finite_values.max())
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo / 2, y_hi * 2
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    def px(x: float) -> float:
+        return margin_left + plot_w * (math.log10(x) - math.log10(x_lo)) / (
+            math.log10(x_hi) - math.log10(x_lo)
+        )
+
+    def py(y: float) -> float:
+        return margin_top + plot_h * (
+            1 - (math.log10(y) - math.log10(y_lo)) / (math.log10(y_hi) - math.log10(y_lo))
+        )
+
+    doc = SvgDocument(width, height)
+    doc.text(width / 2, 22, title, size=15, anchor="middle")
+    # Axes frame and ticks.
+    doc.line(margin_left, margin_top, margin_left, margin_top + plot_h)
+    doc.line(
+        margin_left, margin_top + plot_h, margin_left + plot_w, margin_top + plot_h
+    )
+    for tick in _log_ticks(x_lo, x_hi):
+        if x_lo <= tick <= x_hi:
+            x = px(tick)
+            doc.line(x, margin_top + plot_h, x, margin_top + plot_h + 4)
+            doc.text(x, margin_top + plot_h + 18, f"{tick:.0e}", size=10, anchor="middle")
+    for tick in _log_ticks(y_lo, y_hi):
+        if y_lo <= tick <= y_hi:
+            y = py(tick)
+            doc.line(margin_left - 4, y, margin_left, y)
+            doc.text(margin_left - 8, y + 4, f"{tick:g}", size=10, anchor="end")
+    doc.text(margin_left + plot_w / 2, height - 12, x_label, size=12, anchor="middle")
+    doc.text(16, margin_top + plot_h / 2, y_label, size=12, anchor="middle")
+
+    for s_index, (label, values) in enumerate(series.items()):
+        color = SERIES_PALETTE[s_index % len(SERIES_PALETTE)]
+        values = np.asarray(values, dtype=float)
+        segment: list[tuple[float, float]] = []
+        for x, y in zip(xs, values):
+            if np.isfinite(y) and y > 0:
+                segment.append((px(float(x)), py(float(y))))
+            else:
+                doc.polyline(segment, color)
+                segment = []
+        doc.polyline(segment, color)
+        for x, y in zip(xs, values):
+            if np.isfinite(y) and y > 0:
+                doc.circle(px(float(x)), py(float(y)), 2.4, color)
+        legend_y = margin_top + 16 * s_index
+        doc.rect(width - margin_right + 12, legend_y - 9, 12, 12, color)
+        doc.text(width - margin_right + 30, legend_y + 1, label, size=11)
+    return doc.to_string()
+
+
+def heatmap_svg(
+    grid: np.ndarray,
+    scale: DiscreteScale,
+    title: str,
+    x_exponents: np.ndarray,
+    y_exponents: np.ndarray,
+    x_label: str = "selectivity A",
+    y_label: str = "selectivity B",
+    cell: int = 26,
+) -> str:
+    """Bucket-colored 2-D map (the Fig 4-9 style), NaN cells white.
+
+    ``grid[ix, iy]``: ix runs along the x axis (left->right), iy along the
+    y axis (bottom->top), matching the paper's orientation.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise VisualizationError(f"heatmap needs a 2-D grid, got {grid.shape}")
+    nx, ny = grid.shape
+    margin_left, margin_top = 80, 46
+    legend_w = 230
+    width = margin_left + nx * cell + legend_w
+    height = margin_top + ny * cell + 60
+    doc = SvgDocument(width, height)
+    doc.text((margin_left + nx * cell) / 2 + 20, 24, title, size=15, anchor="middle")
+
+    for ix in range(nx):
+        for iy in range(ny):
+            value = grid[ix, iy]
+            color = CENSORED_RGB if np.isnan(value) else scale.color_for(float(value))
+            x = margin_left + ix * cell
+            y = margin_top + (ny - 1 - iy) * cell
+            doc.rect(x, y, cell, cell, color, stroke=(230, 230, 230))
+    # Axis tick labels (log2 exponents of the selectivities).
+    step = max(1, nx // 8)
+    for ix in range(0, nx, step):
+        doc.text(
+            margin_left + ix * cell + cell / 2,
+            margin_top + ny * cell + 16,
+            f"2^{x_exponents[ix]:.0f}",
+            size=10,
+            anchor="middle",
+        )
+    for iy in range(0, ny, max(1, ny // 8)):
+        doc.text(
+            margin_left - 6,
+            margin_top + (ny - 1 - iy) * cell + cell / 2 + 4,
+            f"2^{y_exponents[iy]:.0f}",
+            size=10,
+            anchor="end",
+        )
+    doc.text(
+        margin_left + nx * cell / 2,
+        margin_top + ny * cell + 40,
+        x_label,
+        size=12,
+        anchor="middle",
+    )
+    doc.text(18, margin_top + ny * cell / 2, y_label, size=12, anchor="middle")
+    # Legend.
+    legend_x = margin_left + nx * cell + 24
+    doc.text(legend_x, margin_top - 6, scale.title, size=12)
+    for b_index, bucket in enumerate(scale.buckets):
+        y = margin_top + b_index * 22
+        doc.rect(legend_x, y, 16, 16, bucket.rgb, stroke=(150, 150, 150))
+        doc.text(legend_x + 24, y + 12, bucket.label, size=11)
+    censored_y = margin_top + scale.n_buckets * 22
+    doc.rect(legend_x, censored_y, 16, 16, CENSORED_RGB, stroke=(150, 150, 150))
+    doc.text(legend_x + 24, censored_y + 12, "censored (over budget)", size=11)
+    return doc.to_string()

@@ -1,0 +1,204 @@
+"""Tests for landmark detectors, metrics, and regression comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.landmarks import (
+    crossovers,
+    discontinuities,
+    flattening_violations,
+    monotonicity_violations,
+    symmetry_score,
+)
+from repro.core.mapdata import MapData
+from repro.core.metrics import profile_plan, summarize_plans
+from repro.core.regression import compare_maps
+from repro.errors import ExperimentError
+
+
+XS = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+
+
+def test_monotonic_curve_clean():
+    assert monotonicity_violations(XS, np.array([1, 2, 3, 4, 5.0])) == []
+
+
+def test_monotonicity_violation_detected():
+    landmarks = monotonicity_violations(XS, np.array([1, 2, 1.5, 4, 5.0]))
+    assert len(landmarks) == 1
+    assert landmarks[0].kind == "monotonicity"
+    assert landmarks[0].index == 2
+
+
+def test_monotonicity_tolerates_noise():
+    assert monotonicity_violations(XS, np.array([1, 2, 1.99, 4, 5.0])) == []
+
+
+def test_monotonicity_skips_nan():
+    assert monotonicity_violations(XS, np.array([1, np.nan, 0.5, 4, 5.0])) == []
+
+
+def test_flattening_clean_for_concave():
+    # Slopes decrease: 1, 0.5, 0.25, 0.125 per unit.
+    ys = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert flattening_violations(XS, ys) == []
+
+
+def test_flattening_violation_detected():
+    # Flat then steep: the Fig 1 improved-scan signature.
+    ys = np.array([1.0, 1.1, 1.2, 4.0, 20.0])
+    landmarks = flattening_violations(XS, ys)
+    assert landmarks
+    assert landmarks[0].kind == "flattening"
+
+
+def test_discontinuity_detected():
+    ys = np.array([1.0, 1.1, 5.0, 5.2, 5.4])
+    landmarks = discontinuities(XS, ys, jump_factor=3.0)
+    assert len(landmarks) == 1
+    assert landmarks[0].index == 2
+
+
+def test_discontinuity_validates_factor():
+    with pytest.raises(ExperimentError):
+        discontinuities(XS, np.ones(5), jump_factor=1.0)
+
+
+def test_crossover_found_and_interpolated():
+    ya = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+    yb = np.array([5.0, 5.0, 5.0, 5.0, 5.0])
+    landmarks = crossovers(XS, ya, yb)
+    assert len(landmarks) == 1
+    assert 2.0 < landmarks[0].x < 8.0
+
+
+def test_no_crossover():
+    assert crossovers(XS, np.ones(5), np.ones(5) * 2) == []
+
+
+def test_crossover_ignores_nan_segments():
+    ya = np.array([1.0, np.nan, 4.0, 8.0, 16.0])
+    yb = np.full(5, 5.0)
+    landmarks = crossovers(XS, ya, yb)
+    assert len(landmarks) == 1  # only the 8 vs 5 swap is detectable
+
+
+def test_curve_validation():
+    with pytest.raises(ExperimentError):
+        monotonicity_violations(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+def test_symmetry_score_symmetric():
+    grid = np.array([[1.0, 2.0], [2.0, 1.0]])
+    assert symmetry_score(grid) == 0.0
+
+
+def test_symmetry_score_asymmetric():
+    grid = np.array([[1.0, 10.0], [2.0, 1.0]])
+    assert symmetry_score(grid) > 0.5
+
+
+def test_symmetry_needs_square():
+    with pytest.raises(ExperimentError):
+        symmetry_score(np.ones((2, 3)))
+
+
+def test_landmark_str():
+    landmarks = discontinuities(XS, np.array([1.0, 1.1, 5.0, 5.2, 5.4]))
+    assert "discontinuity" in str(landmarks[0])
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def flat_map(times):
+    times = np.asarray(times, dtype=float)
+    return MapData(
+        plan_ids=[f"p{i}" for i in range(times.shape[0])],
+        times=times,
+        aborted=np.isnan(times),
+        rows=np.zeros(times.shape[1], dtype=int),
+        x_targets=np.arange(1.0, times.shape[1] + 1),
+        x_achieved=np.arange(1.0, times.shape[1] + 1),
+    )
+
+
+def test_profile_plan_basics():
+    mapdata = flat_map([[1.0, 1.0, 10.0], [1.0, 2.0, 1.0]])
+    profile = profile_plan(mapdata, "p0")
+    assert profile.worst_quotient == pytest.approx(10.0)
+    assert profile.within_factor[2.0] == pytest.approx(2 / 3)
+    assert profile.censored_cells == 0
+    assert "p0" in profile.describe()
+
+
+def test_profile_plan_censored():
+    mapdata = flat_map([[1.0, np.nan], [1.0, 2.0]])
+    profile = profile_plan(mapdata, "p0")
+    assert profile.worst_quotient == float("inf")
+    assert profile.censored_cells == 1
+
+
+def test_summarize_sorted_by_robustness():
+    mapdata = flat_map([[1.0, 100.0], [2.0, 2.0]])
+    profiles = summarize_plans(mapdata)
+    assert profiles[0].plan_id == "p1"
+
+
+# ---------------------------------------------------------------------------
+# regression
+# ---------------------------------------------------------------------------
+
+
+def test_compare_maps_pass():
+    before = flat_map([[1.0, 2.0]])
+    after = flat_map([[1.1, 2.1]])
+    report = compare_maps(before, after, threshold=1.5)
+    assert report.passed
+    assert report.worst_factor == 1.0
+    assert "PASS" in report.summary()
+
+
+def test_compare_maps_detects_regression():
+    before = flat_map([[1.0, 2.0]])
+    after = flat_map([[1.0, 5.0]])
+    report = compare_maps(before, after, threshold=1.5)
+    assert not report.passed
+    assert report.worst_factor == pytest.approx(2.5)
+    assert report.findings[0].cell == (1,)
+    assert "FAIL" in report.summary()
+    assert "2.50x" in str(report.findings[0])
+
+
+def test_compare_maps_newly_censored_is_regression():
+    before = flat_map([[1.0, 2.0]])
+    after = flat_map([[1.0, np.nan]])
+    report = compare_maps(before, after)
+    assert not report.passed
+    assert report.worst_factor == float("inf")
+
+
+def test_compare_maps_improvement_tracked():
+    before = flat_map([[5.0]])
+    after = flat_map([[1.0]])
+    report = compare_maps(before, after, threshold=1.5)
+    assert report.passed
+    assert len(report.improvements) == 1
+
+
+def test_compare_maps_validates_inputs():
+    before = flat_map([[1.0, 2.0]])
+    wrong_plans = MapData(
+        plan_ids=["other"],
+        times=np.array([[1.0, 2.0]]),
+        aborted=np.zeros((1, 2), dtype=bool),
+        rows=np.zeros(2, dtype=int),
+        x_targets=np.array([1.0, 2.0]),
+        x_achieved=np.array([1.0, 2.0]),
+    )
+    with pytest.raises(ExperimentError):
+        compare_maps(before, wrong_plans)
+    with pytest.raises(ExperimentError):
+        compare_maps(before, before, threshold=0.9)

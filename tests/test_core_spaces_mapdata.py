@@ -1,0 +1,119 @@
+"""Tests for parameter spaces and the MapData container."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapdata import MapData
+from repro.core.parameter_space import Space1D, Space2D, log2_targets
+from repro.errors import ExperimentError
+
+
+def test_log2_targets_factor_of_two():
+    targets = log2_targets(-4, 0)
+    assert targets.tolist() == [2.0**-4, 2.0**-3, 2.0**-2, 2.0**-1, 1.0]
+
+
+def test_log2_targets_per_octave():
+    targets = log2_targets(-1, 0, per_octave=2)
+    assert len(targets) == 3
+    assert targets[0] == pytest.approx(0.5)
+
+
+def test_log2_targets_validation():
+    with pytest.raises(ExperimentError):
+        log2_targets(0, -1)
+    with pytest.raises(ExperimentError):
+        log2_targets(-2, 0, per_octave=0)
+
+
+def test_space1d_validation():
+    with pytest.raises(ExperimentError):
+        Space1D("x", np.array([]))
+    with pytest.raises(ExperimentError):
+        Space1D("x", np.array([0.5, 0.5]))
+    with pytest.raises(ExperimentError):
+        Space1D("x", np.array([0.5, 0.25]))
+
+
+def test_space2d_shape():
+    space = Space2D.log2("a", "b", -3, 0)
+    assert space.shape == (4, 4)
+    assert space.n_cells == 16
+
+
+def make_map(two_d=False):
+    plan_ids = ["p1", "p2"]
+    if two_d:
+        times = np.array(
+            [[[1.0, 2.0], [3.0, 4.0]], [[2.0, 1.0], [np.nan, 8.0]]]
+        )
+        rows = np.array([[1, 2], [3, 4]])
+        return MapData(
+            plan_ids=plan_ids,
+            times=times,
+            aborted=np.isnan(times),
+            rows=rows,
+            x_targets=np.array([0.5, 1.0]),
+            x_achieved=np.array([0.5, 1.0]),
+            y_targets=np.array([0.5, 1.0]),
+            y_achieved=np.array([0.5, 1.0]),
+        )
+    times = np.array([[1.0, 2.0, 4.0], [2.0, np.nan, 3.0]])
+    return MapData(
+        plan_ids=plan_ids,
+        times=times,
+        aborted=np.isnan(times),
+        rows=np.array([1, 2, 4]),
+        x_targets=np.array([0.25, 0.5, 1.0]),
+        x_achieved=np.array([0.25, 0.5, 1.0]),
+    )
+
+
+def test_mapdata_accessors():
+    mapdata = make_map()
+    assert not mapdata.is_2d
+    assert mapdata.grid_shape == (3,)
+    assert mapdata.n_plans == 2
+    assert mapdata.plan_index("p2") == 1
+    assert np.array_equal(mapdata.times_for("p1"), [1.0, 2.0, 4.0])
+
+
+def test_mapdata_unknown_plan():
+    with pytest.raises(ExperimentError):
+        make_map().plan_index("nope")
+
+
+def test_mapdata_shape_validation():
+    with pytest.raises(ExperimentError):
+        MapData(
+            plan_ids=["p"],
+            times=np.zeros((1, 3)),
+            aborted=np.zeros((1, 2), dtype=bool),
+            rows=np.zeros(3, dtype=int),
+            x_targets=np.arange(3.0) + 1,
+            x_achieved=np.arange(3.0) + 1,
+        )
+
+
+def test_mapdata_subset():
+    mapdata = make_map()
+    sub = mapdata.subset(["p2"])
+    assert sub.plan_ids == ["p2"]
+    assert sub.times.shape == (1, 3)
+    # Subset is a copy.
+    sub.times[0, 0] = 99.0
+    assert mapdata.times[1, 0] == 2.0
+
+
+@pytest.mark.parametrize("two_d", [False, True])
+def test_mapdata_json_roundtrip(tmp_path, two_d):
+    mapdata = make_map(two_d)
+    path = tmp_path / "map.json"
+    mapdata.save(path)
+    loaded = MapData.load(path)
+    assert loaded.plan_ids == mapdata.plan_ids
+    assert np.allclose(loaded.times, mapdata.times, equal_nan=True)
+    assert np.array_equal(loaded.aborted, mapdata.aborted)
+    assert np.array_equal(loaded.rows, mapdata.rows)
+    if two_d:
+        assert np.allclose(loaded.y_targets, mapdata.y_targets)

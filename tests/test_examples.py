@@ -1,0 +1,43 @@
+"""Every example script must run end-to-end (at tiny scale)."""
+
+import os
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_EXAMPLE_ROWS", "2048")
+    monkeypatch.setenv("REPRO_EXAMPLE_MIN_EXP", "-4")
+    monkeypatch.setenv("REPRO_EXAMPLE_SORT_MEMORY", str(256 * 1024))
+    monkeypatch.chdir(tmp_path)  # artifacts land in tmp
+
+
+def test_examples_exist():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_writes_svg(tmp_path):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    assert (tmp_path / "quickstart_fig1.svg").exists()
+
+
+def test_two_predicate_study_writes_artifacts(tmp_path):
+    runpy.run_path(str(EXAMPLES_DIR / "two_predicate_study.py"), run_name="__main__")
+    out_dir = tmp_path / "two_predicate_out"
+    names = {p.name for p in out_dir.iterdir()}
+    assert {"fig4.svg", "fig5.svg", "fig7.svg", "fig8.svg", "fig9.svg", "fig10.svg"} <= names

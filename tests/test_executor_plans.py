@@ -1,0 +1,218 @@
+"""Correctness tests for every plan node (vs. NumPy ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.executor import (
+    ADAPTIVE_PREFETCH,
+    NAIVE_FETCH,
+    SORTED_BITMAP_FETCH,
+    ColumnRange,
+    CompositeRangeRidsNode,
+    CoveringCompositeScanNode,
+    CoveringRidJoinNode,
+    FetchNode,
+    IndexRangeRidsNode,
+    PlanRunner,
+    RidIntersectNode,
+    TableScanNode,
+)
+
+PA = ColumnRange("a", 1000, 30000)
+PB = ColumnRange("b", 0, 400000)
+
+
+def oracle(table):
+    mask = PA.mask(table.column("a")) & PB.mask(table.column("b"))
+    return np.flatnonzero(mask)
+
+
+def all_two_predicate_plans(table):
+    idx_a, idx_b = table.index("idx_a"), table.index("idx_b")
+    idx_ab, idx_ba = table.index("idx_ab"), table.index("idx_ba")
+    return {
+        "table_scan": TableScanNode(table, [PA, PB], project=["a", "b"]),
+        "idx_a_fetch": FetchNode(
+            IndexRangeRidsNode(idx_a, PA), table, ADAPTIVE_PREFETCH,
+            residual=[PB], project=["a", "b"],
+        ),
+        "idx_b_fetch": FetchNode(
+            IndexRangeRidsNode(idx_b, PB), table, ADAPTIVE_PREFETCH,
+            residual=[PA], project=["a", "b"],
+        ),
+        "merge": RidIntersectNode(
+            IndexRangeRidsNode(idx_a, PA), IndexRangeRidsNode(idx_b, PB), "merge"
+        ),
+        "hash_left": RidIntersectNode(
+            IndexRangeRidsNode(idx_a, PA), IndexRangeRidsNode(idx_b, PB), "hash", "left"
+        ),
+        "hash_right": RidIntersectNode(
+            IndexRangeRidsNode(idx_a, PA), IndexRangeRidsNode(idx_b, PB), "hash", "right"
+        ),
+        "b_bitmap": FetchNode(
+            CompositeRangeRidsNode(idx_ab, PA, PB), table, SORTED_BITMAP_FETCH,
+            verify_only=True,
+        ),
+        "b_naive": FetchNode(
+            CompositeRangeRidsNode(idx_ba, PB, PA), table, NAIVE_FETCH,
+            verify_only=True,
+        ),
+        "c_mdam": CoveringCompositeScanNode(idx_ab, PA, PB, use_mdam=True),
+        "c_mdam_ba": CoveringCompositeScanNode(idx_ba, PB, PA, use_mdam=True),
+        "c_range": CoveringCompositeScanNode(idx_ab, PA, PB, use_mdam=False),
+    }
+
+
+@pytest.fixture
+def plans(indexed_table):
+    return indexed_table, all_two_predicate_plans(indexed_table)
+
+
+def test_all_plans_agree_with_oracle(plans, env):
+    table, plan_dict = plans
+    expected = set(oracle(table).tolist())
+    runner = PlanRunner(env)
+    for name, plan in plan_dict.items():
+        run = runner.measure(plan)
+        assert not run.aborted, name
+        assert run.n_rows == len(expected), name
+
+
+def test_all_plans_same_checksum(plans, env):
+    table, plan_dict = plans
+    runner = PlanRunner(env)
+    checksums = {name: runner.measure(plan).rid_checksum for name, plan in plan_dict.items()}
+    assert len(set(checksums.values())) == 1, checksums
+
+
+def test_plans_carry_predicate_columns(plans, env):
+    table, plan_dict = plans
+    runner = PlanRunner(env)
+    for name in ("table_scan", "idx_a_fetch", "merge", "c_mdam"):
+        result = plan_dict[name].execute(
+            __import__("repro.executor.context", fromlist=["ExecContext"]).ExecContext(env)
+        )
+        assert "a" in result.columns and "b" in result.columns, name
+        assert np.array_equal(result.columns["a"], table.column("a")[result.rids])
+
+
+def test_empty_result_plans(indexed_table, env):
+    empty_a = ColumnRange("a", 1 << 30, 1 << 31)
+    plan = FetchNode(
+        IndexRangeRidsNode(indexed_table.index("idx_a"), empty_a),
+        indexed_table,
+        ADAPTIVE_PREFETCH,
+        project=["b"],
+    )
+    run = PlanRunner(env).measure(plan)
+    assert run.n_rows == 0
+
+
+def test_table_scan_no_predicates(indexed_table, env):
+    run = PlanRunner(env).measure(TableScanNode(indexed_table, []))
+    assert run.n_rows == indexed_table.n_rows
+
+
+def test_index_node_validates_column(indexed_table):
+    with pytest.raises(PlanError):
+        IndexRangeRidsNode(indexed_table.index("idx_a"), ColumnRange("b", 0, 1))
+
+
+def test_index_node_rejects_composite(indexed_table):
+    with pytest.raises(PlanError):
+        IndexRangeRidsNode(indexed_table.index("idx_ab"), PA)
+
+
+def test_composite_node_validates_order(indexed_table):
+    with pytest.raises(PlanError):
+        CompositeRangeRidsNode(indexed_table.index("idx_ab"), PB, PA)
+
+
+def test_intersect_validates_args(indexed_table):
+    a = IndexRangeRidsNode(indexed_table.index("idx_a"), PA)
+    b = IndexRangeRidsNode(indexed_table.index("idx_b"), PB)
+    with pytest.raises(PlanError):
+        RidIntersectNode(a, b, "sortmerge")
+    with pytest.raises(PlanError):
+        RidIntersectNode(a, b, "hash", build="top")
+
+
+def test_verify_only_keeps_index_columns(indexed_table, env):
+    from repro.executor.context import ExecContext
+
+    plan = FetchNode(
+        CompositeRangeRidsNode(indexed_table.index("idx_ab"), PA, PB),
+        indexed_table,
+        SORTED_BITMAP_FETCH,
+        verify_only=True,
+    )
+    result = plan.execute(ExecContext(env))
+    assert np.array_equal(result.columns["a"], indexed_table.column("a")[result.rids])
+    assert np.array_equal(result.columns["b"], indexed_table.column("b")[result.rids])
+
+
+def test_hash_order_changes_cost(plans, env):
+    """Join order matters for hash, much less for merge (Fig 5 / §3.3)."""
+    table, plan_dict = plans
+    runner = PlanRunner(env)
+    t_left = runner.measure(plan_dict["hash_left"]).seconds
+    t_right = runner.measure(plan_dict["hash_right"]).seconds
+    assert t_left != pytest.approx(t_right, rel=1e-6)
+
+
+def test_covering_rid_join_matches_fetch(indexed_table, env):
+    pred = ColumnRange("b", 0, 200000)
+    rids_node = IndexRangeRidsNode(indexed_table.index("idx_b"), pred)
+    join_plan = CoveringRidJoinNode(rids_node, indexed_table.index("idx_val"), "hash")
+    from repro.executor.context import ExecContext
+
+    result = join_plan.execute(ExecContext(env))
+    expected_rids = np.flatnonzero(pred.mask(indexed_table.column("b")))
+    assert set(result.rids.tolist()) == set(expected_rids.tolist())
+    assert np.array_equal(
+        result.columns["val"], indexed_table.column("val")[result.rids]
+    )
+
+
+def test_covering_rid_join_merge_variant(indexed_table, env):
+    pred = ColumnRange("b", 0, 100000)
+    from repro.executor.context import ExecContext
+
+    plan = CoveringRidJoinNode(
+        IndexRangeRidsNode(indexed_table.index("idx_b"), pred),
+        indexed_table.index("idx_val"),
+        "merge",
+    )
+    result = plan.execute(ExecContext(env))
+    expected = np.flatnonzero(pred.mask(indexed_table.column("b")))
+    assert set(result.rids.tolist()) == set(expected.tolist())
+
+
+def test_explain_renders_tree(plans):
+    _table, plan_dict = plans
+    text = plan_dict["idx_a_fetch"].explain()
+    assert "Fetch" in text
+    assert "IndexRangeScan" in text
+    assert text.count("->") == 2
+
+
+def test_runner_cold_resets_pool(indexed_table, env):
+    runner = PlanRunner(env, cold=True)
+    plan = TableScanNode(indexed_table, [PA])
+    first = runner.measure(plan).seconds
+    second = runner.measure(plan).seconds
+    assert first == pytest.approx(second)
+
+
+def test_runner_budget_censors(indexed_table, env):
+    runner = PlanRunner(env, budget_seconds=1e-9)
+    run = runner.measure(TableScanNode(indexed_table, [PA]))
+    assert run.aborted and run.censored
+    assert run.n_rows == -1
+
+
+def test_measured_run_io_stats(indexed_table, env):
+    runner = PlanRunner(env)
+    run = runner.measure(TableScanNode(indexed_table, [PA]))
+    assert run.io.pages_read >= indexed_table.n_pages

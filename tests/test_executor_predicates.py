@@ -1,0 +1,63 @@
+"""Unit tests for range predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PlanError
+from repro.executor.predicates import ColumnRange, apply_predicates
+
+
+def test_mask_inclusive_bounds():
+    predicate = ColumnRange("a", 2, 5)
+    values = np.arange(10)
+    assert np.array_equal(np.flatnonzero(predicate.mask(values)), [2, 3, 4, 5])
+
+
+def test_empty_range_rejected():
+    with pytest.raises(PlanError):
+        ColumnRange("a", 5, 2)
+
+
+def test_point_range_allowed():
+    predicate = ColumnRange("a", 3, 3)
+    assert predicate.mask(np.array([2, 3, 4])).tolist() == [False, True, False]
+
+
+def test_str_readable():
+    assert str(ColumnRange("price", 1, 9)) == "1 <= price <= 9"
+
+
+def test_as_tuple():
+    assert ColumnRange("a", 1, 2).as_tuple() == (1, 2)
+
+
+def test_apply_predicates_conjunction():
+    columns = {"a": np.array([1, 5, 9]), "b": np.array([9, 5, 1])}
+    mask = apply_predicates(
+        columns, [ColumnRange("a", 0, 5), ColumnRange("b", 5, 10)]
+    )
+    assert mask.tolist() == [True, True, False]
+
+
+def test_apply_predicates_missing_column():
+    with pytest.raises(PlanError):
+        apply_predicates({"a": np.array([1])}, [ColumnRange("b", 0, 1)])
+
+
+def test_apply_predicates_needs_predicates():
+    with pytest.raises(PlanError):
+        apply_predicates({"a": np.array([1])}, [])
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=100),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+def test_mask_matches_pointwise_definition(values, bound1, bound2):
+    lo, hi = min(bound1, bound2), max(bound1, bound2)
+    predicate = ColumnRange("x", lo, hi)
+    arr = np.asarray(values)
+    expected = [lo <= value <= hi for value in values]
+    assert predicate.mask(arr).tolist() == expected

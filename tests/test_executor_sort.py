@@ -1,0 +1,158 @@
+"""Unit and property tests for external sort and aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.executor.aggregate import HashAggregate, StreamAggregate
+from repro.executor.context import ExecContext
+from repro.executor.sort import ExternalSort, SpillPolicy
+
+
+def ctx_with_memory(env, memory_bytes):
+    return ExecContext(env, memory_bytes=memory_bytes)
+
+
+def test_in_memory_sort_correct(env, rng):
+    ctx = ctx_with_memory(env, 1 << 20)
+    values = rng.integers(0, 1 << 30, 1000)
+    result = ExternalSort(ctx).sort(values)
+    assert np.array_equal(result.values, np.sort(values))
+    assert not result.spilled
+    assert result.n_runs == 1
+
+
+def test_spilled_sort_correct(env, rng):
+    ctx = ctx_with_memory(env, 8 * 100)  # room for 100 rows
+    values = rng.integers(0, 1 << 30, 1000)
+    result = ExternalSort(ctx, policy=SpillPolicy.GRACEFUL).sort(values)
+    assert np.array_equal(result.values, np.sort(values))
+    assert result.spilled
+
+
+def test_graceful_spills_only_overflow(env, rng):
+    memory_rows = 100
+    ctx = ctx_with_memory(env, 8 * memory_rows)
+    values = rng.integers(0, 100, memory_rows + 7)
+    result = ExternalSort(ctx, policy=SpillPolicy.GRACEFUL).sort(values)
+    assert result.spilled_rows == 7
+
+
+def test_all_or_nothing_spills_everything(env, rng):
+    memory_rows = 100
+    ctx = ctx_with_memory(env, 8 * memory_rows)
+    values = rng.integers(0, 100, memory_rows + 1)
+    result = ExternalSort(ctx, policy=SpillPolicy.ALL_OR_NOTHING).sort(values)
+    assert result.spilled_rows == memory_rows + 1
+
+
+def test_cliff_at_memory_boundary(env, rng):
+    """One extra record: all-or-nothing jumps, graceful barely moves (§4)."""
+    row_bytes = 128
+    memory_bytes = 64 * 1024
+    memory_rows = memory_bytes // row_bytes
+
+    def cost(n, policy):
+        env.cold_reset()
+        ctx = ctx_with_memory(env, memory_bytes)
+        values = rng.integers(0, 1 << 30, n)
+        start = env.clock.now
+        ExternalSort(ctx, row_bytes=row_bytes, policy=policy).sort(values)
+        return env.clock.now - start
+
+    at_limit_naive = cost(memory_rows, SpillPolicy.ALL_OR_NOTHING)
+    over_naive = cost(memory_rows + 1, SpillPolicy.ALL_OR_NOTHING)
+    at_limit_graceful = cost(memory_rows, SpillPolicy.GRACEFUL)
+    over_graceful = cost(memory_rows + 1, SpillPolicy.GRACEFUL)
+    naive_jump = over_naive / at_limit_naive
+    graceful_jump = over_graceful / at_limit_graceful
+    assert naive_jump > 1.5
+    assert graceful_jump < naive_jump
+
+
+def test_sort_rejects_bad_row_bytes(env):
+    with pytest.raises(ExecutionError):
+        ExternalSort(ExecContext(env), row_bytes=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(0, 1 << 30), max_size=500),
+    st.sampled_from([SpillPolicy.GRACEFUL, SpillPolicy.ALL_OR_NOTHING]),
+    st.integers(16, 4096),
+)
+def test_sort_always_correct_property(values, policy, memory_bytes):
+    from repro.sim.profile import DeviceProfile
+    from repro.storage import StorageEnv
+
+    env = StorageEnv(DeviceProfile(page_size=512), pool_pages=16)
+    ctx = ExecContext(env, memory_bytes=memory_bytes)
+    arr = np.asarray(values, dtype=np.int64)
+    result = ExternalSort(ctx, policy=policy).sort(arr) if arr.size else None
+    if result is not None:
+        assert np.array_equal(result.values, np.sort(arr))
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+def test_hash_aggregate_counts(env, rng):
+    ctx = ExecContext(env)
+    keys = rng.integers(0, 20, 5000)
+    groups, counts = HashAggregate(ctx).groupby_count(keys)
+    expected_groups, expected_counts = np.unique(keys, return_counts=True)
+    assert np.array_equal(groups, expected_groups)
+    assert np.array_equal(counts, expected_counts)
+
+
+def test_hash_aggregate_empty(env):
+    ctx = ExecContext(env)
+    groups, counts = HashAggregate(ctx).groupby_count(np.array([]))
+    assert groups.size == 0 and counts.size == 0
+
+
+def test_hash_aggregate_spills_when_many_groups(env, rng):
+    keys = rng.integers(0, 100000, 20000)
+    env.cold_reset()
+    small_ctx = ExecContext(env, memory_bytes=4096)
+    start = env.clock.now
+    HashAggregate(small_ctx).groupby_count(keys)
+    spilling = env.clock.now - start
+
+    env.cold_reset()
+    big_ctx = ExecContext(env, memory_bytes=1 << 24)
+    start = env.clock.now
+    HashAggregate(big_ctx).groupby_count(keys)
+    in_memory = env.clock.now - start
+    assert spilling > 2 * in_memory
+
+
+def test_stream_aggregate_requires_sorted(env):
+    ctx = ExecContext(env)
+    with pytest.raises(ExecutionError):
+        StreamAggregate(ctx).groupby_count(np.array([3, 1, 2]))
+
+
+def test_stream_aggregate_counts(env, rng):
+    ctx = ExecContext(env)
+    keys = np.sort(rng.integers(0, 50, 3000))
+    groups, counts = StreamAggregate(ctx).groupby_count(keys)
+    expected_groups, expected_counts = np.unique(keys, return_counts=True)
+    assert np.array_equal(groups, expected_groups)
+    assert np.array_equal(counts, expected_counts)
+
+
+@given(st.lists(st.integers(0, 30), max_size=300))
+def test_aggregates_agree_property(keys):
+    from repro.sim.profile import DeviceProfile
+    from repro.storage import StorageEnv
+
+    env = StorageEnv(DeviceProfile(page_size=512), pool_pages=16)
+    arr = np.asarray(sorted(keys), dtype=np.int64)
+    hash_groups, hash_counts = HashAggregate(ExecContext(env)).groupby_count(arr)
+    stream_groups, stream_counts = StreamAggregate(ExecContext(env)).groupby_count(arr)
+    assert np.array_equal(hash_groups, stream_groups)
+    assert np.array_equal(hash_counts, stream_counts)

@@ -1,0 +1,123 @@
+"""Unit tests for tables and secondary indexes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import StorageEnv, Table
+from tests.conftest import SMALL_PROFILE, make_table
+
+
+def test_table_rejects_empty_columns(env):
+    with pytest.raises(StorageError):
+        Table(env, "t", {})
+
+
+def test_table_rejects_ragged_columns(env):
+    with pytest.raises(StorageError):
+        Table(env, "t", {"a": np.arange(3), "b": np.arange(4)})
+
+
+def test_row_bytes_inferred(env):
+    table = Table(env, "t", {"a": np.arange(10, dtype=np.int64)})
+    assert table.row_bytes == 24 + 8
+
+
+def test_geometry(table):
+    assert table.n_rows == 4096
+    assert table.rows_per_page == table.clustered.leaf_capacity
+    assert table.n_pages == -(-table.n_rows // table.rows_per_page)
+
+
+def test_column_access(table):
+    assert table.column("a").size == table.n_rows
+    with pytest.raises(StorageError):
+        table.column("nope")
+
+
+def test_pages_of_rids_monotone(table):
+    rids = np.arange(table.n_rows)
+    pages = table.pages_of_rids(rids)
+    assert np.all(np.diff(pages) >= 0)
+    assert pages[0] == 0
+    assert pages[-1] == table.n_pages - 1
+
+
+def test_pages_of_rids_out_of_range(table):
+    with pytest.raises(StorageError):
+        table.pages_of_rids(np.array([table.n_rows]))
+
+
+def test_gather_matches_columns(table, rng):
+    rids = rng.integers(0, table.n_rows, 100)
+    out = table.gather(rids, ["a", "val"])
+    assert np.array_equal(out["a"], table.column("a")[rids])
+    assert np.array_equal(out["val"], table.column("val")[rids])
+
+
+def test_gather_all_columns_by_default(table):
+    out = table.gather(np.array([0, 1]))
+    assert set(out) == set(table.column_names)
+
+
+def test_create_index_and_lookup(indexed_table):
+    index = indexed_table.index("idx_a")
+    assert index.key_columns == ("a",)
+    lo, hi = index.key_range_for({"a": (100, 500)})
+    keys, rids = index.read_range(lo, hi)
+    mask = (indexed_table.column("a") >= 100) & (indexed_table.column("a") <= 500)
+    assert keys.size == mask.sum()
+    assert set(rids.tolist()) == set(np.flatnonzero(mask).tolist())
+
+
+def test_duplicate_index_name_rejected(indexed_table):
+    with pytest.raises(StorageError):
+        indexed_table.create_index("idx_a", ["a"])
+
+
+def test_unknown_index_rejected(table):
+    with pytest.raises(StorageError):
+        table.index("missing")
+
+
+def test_negative_column_cannot_be_indexed(env):
+    table = Table(env, "t", {"a": np.array([-1, 2, 3])})
+    with pytest.raises(StorageError):
+        table.create_index("idx", ["a"])
+
+
+def test_composite_index_full_range_defaults(indexed_table):
+    index = indexed_table.index("idx_ab")
+    lo, hi = index.key_range_for({"a": (5, 10)})  # b unconstrained
+    keys, _rids = index.read_range(lo, hi)
+    a_vals = index.codec.decode(keys)[0]
+    assert np.all((a_vals >= 5) & (a_vals <= 10))
+
+
+def test_index_scan_all(indexed_table):
+    index = indexed_table.index("idx_b")
+    keys, rids = index.scan_all()
+    assert keys.size == indexed_table.n_rows
+    assert np.all(np.diff(keys) >= 0)
+    assert set(rids.tolist()) == set(range(indexed_table.n_rows))
+
+
+def test_index_entries_sorted_by_encoded_key(indexed_table):
+    index = indexed_table.index("idx_ab")
+    keys, _ = index.scan_all()
+    assert np.all(np.diff(keys) >= 0)
+
+
+def test_index_narrower_than_table(indexed_table):
+    assert indexed_table.index("idx_a").n_leaf_pages < indexed_table.n_pages
+
+
+def test_key_range_clamps_to_domain(indexed_table):
+    index = indexed_table.index("idx_a")
+    lo, hi = index.key_range_for({"a": (-50, 1 << 40)})
+    keys, rids = index.read_range(lo, hi)
+    assert rids.size == indexed_table.n_rows
+
+
+def test_repr(table):
+    assert "t" in repr(table)

@@ -1,0 +1,256 @@
+"""Tests for color scales, PNG/SVG/ASCII renderers, and figure helpers."""
+
+import xml.etree.ElementTree as ET
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VisualizationError
+from repro.viz import (
+    ABSOLUTE_TIME_SCALE,
+    RELATIVE_FACTOR_SCALE,
+    ColorBucket,
+    DiscreteScale,
+    curve_ascii,
+    curves_svg,
+    decode_png_size,
+    encode_png,
+    heatmap_ascii,
+    heatmap_svg,
+    interpolate_rgb,
+    legend_ascii,
+    legend_pixels,
+    legend_svg,
+    rasterize_grid,
+)
+from repro.viz.figures import heatmap_png_pixels
+
+
+# ---------------------------------------------------------------------------
+# color scales
+# ---------------------------------------------------------------------------
+
+
+def test_absolute_scale_bucketing():
+    scale = ABSOLUTE_TIME_SCALE
+    assert scale.bucket_index(0.005) == 0
+    assert scale.bucket_index(0.5) == 2
+    assert scale.bucket_index(500.0) == 5
+    # Clamping at both ends.
+    assert scale.bucket_index(1e-9) == 0
+    assert scale.bucket_index(1e9) == 5
+    assert scale.bucket_index(float("inf")) == 5
+
+
+def test_relative_scale_factor_one_special():
+    scale = RELATIVE_FACTOR_SCALE
+    assert scale.bucket_index(1.0) == 0
+    assert scale.bucket_index(1.01) == 0
+    assert scale.bucket_index(1.5) == 1
+    assert scale.bucket_index(50_000) == 5
+
+
+def test_bucket_indices_vectorized_matches_scalar():
+    scale = ABSOLUTE_TIME_SCALE
+    values = np.array([1e-4, 0.005, 0.05, 0.5, 5.0, 50.0, 500.0, 5e4])
+    vectorized = scale.bucket_indices(values)
+    scalar = [scale.bucket_index(float(v)) for v in values]
+    assert vectorized.tolist() == scalar
+
+
+def test_nan_bucketing_rejected():
+    with pytest.raises(VisualizationError):
+        ABSOLUTE_TIME_SCALE.bucket_index(float("nan"))
+    with pytest.raises(VisualizationError):
+        ABSOLUTE_TIME_SCALE.bucket_indices(np.array([1.0, np.nan]))
+
+
+def test_scale_requires_contiguous_buckets():
+    with pytest.raises(VisualizationError):
+        DiscreteScale(
+            [
+                ColorBucket(0, 1, (0, 0, 0), "a"),
+                ColorBucket(2, 3, (1, 1, 1), "b"),
+            ],
+            "broken",
+        )
+
+
+def test_colorize_shape():
+    rgb = ABSOLUTE_TIME_SCALE.colorize(np.ones((3, 4)))
+    assert rgb.shape == (3, 4, 3)
+    assert rgb.dtype == np.uint8
+
+
+def test_interpolate_rgb():
+    assert interpolate_rgb((0, 0, 0), (100, 200, 50), 0.5) == (50, 100, 25)
+    with pytest.raises(VisualizationError):
+        interpolate_rgb((0, 0, 0), (1, 1, 1), 1.5)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6))
+def test_every_positive_value_gets_a_color(value):
+    color = ABSOLUTE_TIME_SCALE.color_for(value)
+    assert len(color) == 3
+
+
+# ---------------------------------------------------------------------------
+# PNG
+# ---------------------------------------------------------------------------
+
+
+def test_png_signature_and_size():
+    pixels = np.zeros((7, 5, 3), dtype=np.uint8)
+    data = encode_png(pixels)
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    assert decode_png_size(data) == (5, 7)
+
+
+def test_png_idat_decompresses_to_scanlines():
+    pixels = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+    data = encode_png(pixels)
+    idat_start = data.index(b"IDAT") + 4
+    import struct
+
+    length = struct.unpack(">I", data[idat_start - 8 : idat_start - 4])[0]
+    raw = zlib.decompress(data[idat_start : idat_start + length])
+    assert len(raw) == 2 * (1 + 3 * 3)  # filter byte + RGB per row
+    assert raw[0] == 0  # filter type 0
+
+
+def test_png_rejects_bad_input():
+    with pytest.raises(VisualizationError):
+        encode_png(np.zeros((2, 2), dtype=np.uint8))
+    with pytest.raises(VisualizationError):
+        encode_png(np.zeros((2, 2, 3), dtype=np.float64))
+    with pytest.raises(VisualizationError):
+        encode_png(np.zeros((0, 2, 3), dtype=np.uint8))
+
+
+def test_save_png(tmp_path):
+    from repro.viz import save_png
+
+    path = tmp_path / "x.png"
+    save_png(path, np.zeros((2, 2, 3), dtype=np.uint8))
+    assert decode_png_size(path.read_bytes()) == (2, 2)
+
+
+def test_rasterize_grid_scales():
+    cells = np.zeros((2, 3, 3), dtype=np.uint8)
+    pixels = rasterize_grid(cells, cell_px=4)
+    assert pixels.shape == (8, 12, 3)
+    with pytest.raises(VisualizationError):
+        rasterize_grid(cells, cell_px=0)
+
+
+def test_heatmap_png_pixels_orientation():
+    # grid[x, y]: y=1 (top row of image) red, y=0 green
+    grid = np.array([[0.005, 500.0]])  # green bottom, black top
+    pixels = heatmap_png_pixels(grid, ABSOLUTE_TIME_SCALE, cell_px=1)
+    assert pixels.shape == (2, 1, 3)
+    assert tuple(pixels[0, 0]) == ABSOLUTE_TIME_SCALE.buckets[-1].rgb  # top = y=1
+    assert tuple(pixels[1, 0]) == ABSOLUTE_TIME_SCALE.buckets[0].rgb
+
+
+def test_heatmap_png_censored_white():
+    grid = np.array([[np.nan]])
+    pixels = heatmap_png_pixels(grid, ABSOLUTE_TIME_SCALE, cell_px=1)
+    assert tuple(pixels[0, 0]) == (255, 255, 255)
+
+
+# ---------------------------------------------------------------------------
+# SVG
+# ---------------------------------------------------------------------------
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def test_curves_svg_valid_xml():
+    xs = np.array([0.001, 0.01, 0.1, 1.0])
+    series = {"scan": np.array([1.0, 1.0, 1.1, 1.2]), "idx": np.array([0.01, 0.1, 1.0, 10.0])}
+    svg = curves_svg(xs, series, title="test & chart")
+    root = _parse(svg)
+    assert root.tag.endswith("svg")
+    assert "test &amp; chart" in svg
+    assert svg.count("polyline") >= 2
+
+
+def test_curves_svg_breaks_on_nan():
+    xs = np.array([0.01, 0.1, 1.0])
+    svg = curves_svg(xs, {"p": np.array([1.0, np.nan, 2.0])}, title="t")
+    _parse(svg)
+    # Two single points -> no polyline with 2+ points for the gap segment
+    assert svg.count("<circle") == 2
+
+
+def test_curves_svg_requires_series():
+    with pytest.raises(VisualizationError):
+        curves_svg(np.array([1.0]), {}, title="x")
+
+
+def test_heatmap_svg_valid_and_has_cells():
+    grid = np.array([[0.01, 1.0], [10.0, np.nan]])
+    svg = heatmap_svg(
+        grid,
+        ABSOLUTE_TIME_SCALE,
+        "map",
+        np.array([-2.0, -1.0]),
+        np.array([-2.0, -1.0]),
+    )
+    _parse(svg)
+    # 4 cells + legend swatches + background
+    assert svg.count("<rect") >= 4 + ABSOLUTE_TIME_SCALE.n_buckets
+
+
+def test_legend_svg_lists_all_buckets():
+    svg = legend_svg(RELATIVE_FACTOR_SCALE)
+    _parse(svg)
+    for bucket in RELATIVE_FACTOR_SCALE.buckets:
+        assert bucket.label.split()[0] in svg
+
+
+def test_legend_pixels_one_cell_per_bucket():
+    pixels = legend_pixels(ABSOLUTE_TIME_SCALE, cell_px=2)
+    assert pixels.shape == (2 * ABSOLUTE_TIME_SCALE.n_buckets, 2, 3)
+
+
+# ---------------------------------------------------------------------------
+# ASCII
+# ---------------------------------------------------------------------------
+
+
+def test_curve_ascii_contains_markers_and_legend():
+    xs = np.array([0.01, 0.1, 1.0])
+    text = curve_ascii(xs, {"scan": np.array([1.0, 2.0, 3.0])})
+    assert "a = scan" in text
+    plot_body = "".join(text.splitlines()[1:-1])
+    assert plot_body.count("a") == 3  # one marker per data point
+
+
+def test_curve_ascii_validates():
+    with pytest.raises(VisualizationError):
+        curve_ascii(np.array([1.0]), {})
+
+
+def test_heatmap_ascii_shape():
+    grid = np.full((4, 3), 0.005)
+    text = heatmap_ascii(grid, ABSOLUTE_TIME_SCALE)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert all(len(line) == 4 for line in lines)
+    assert set("".join(lines)) == {"."}
+
+
+def test_heatmap_ascii_censored_marker():
+    grid = np.array([[np.nan]])
+    assert heatmap_ascii(grid, ABSOLUTE_TIME_SCALE) == "!"
+
+
+def test_legend_ascii_mentions_buckets():
+    text = legend_ascii(ABSOLUTE_TIME_SCALE)
+    assert "0.001-0.01 seconds" in text
+    assert "censored" in text
