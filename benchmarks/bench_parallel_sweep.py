@@ -1,0 +1,130 @@
+"""Wall-clock benchmark: serial vs parallel two-predicate sweep.
+
+Runs the full three-system 2-D sweep once serially and once through the
+parallel engine, verifies the maps are bit-identical, and writes a
+``BENCH_parallel_sweep.json`` artifact with the timings so CI can track
+the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py \
+        [--rows 131072] [--min-exp -12] [--workers 4] [--out BENCH_parallel_sweep.json]
+        [--require-speedup 2.0]
+
+``--require-speedup`` exits non-zero below the threshold, but only when
+the machine actually has at least ``--workers`` cores — a 1-core CI box
+cannot show a parallel speedup and should not fail for it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.parallel import ParallelSweep
+from repro.core.parameter_space import Space2D
+from repro.core.runner import Jitter, RobustnessSweep
+from repro.systems import SystemConfig, build_three_systems
+from repro.workloads import LineitemConfig
+
+
+def build_systems(n_rows: int, seed: int):
+    return list(
+        build_three_systems(
+            SystemConfig(lineitem=LineitemConfig(n_rows=n_rows, seed=seed))
+        ).values()
+    )
+
+
+def identical(a, b) -> bool:
+    return (
+        a.plan_ids == b.plan_ids
+        and np.array_equal(a.times, b.times, equal_nan=True)
+        and np.array_equal(a.aborted, b.aborted)
+        and np.array_equal(a.rows, b.rows)
+        and a.meta == b.meta
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=1 << 17)
+    parser.add_argument("--min-exp", type=int, default=-12)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_parallel_sweep.json")
+    parser.add_argument("--require-speedup", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    factory = functools.partial(build_systems, args.rows, args.seed)
+    space = Space2D.log2("sel_a", "sel_b", args.min_exp, 0)
+    jitter = Jitter(rel=0.01, abs=0.0005, seed=args.seed)
+    print(
+        f"2-D sweep: {space.shape[0]}x{space.shape[1]} cells, "
+        f"{args.rows} rows, {args.workers} workers "
+        f"(cpu_count={os.cpu_count()})"
+    )
+
+    start = time.perf_counter()
+    serial_map = RobustnessSweep(
+        factory(), budget_seconds=30.0, jitter=jitter
+    ).sweep_two_predicate(space)
+    serial_s = time.perf_counter() - start
+    print(f"serial:   {serial_s:8.2f}s")
+
+    start = time.perf_counter()
+    parallel_map = ParallelSweep(
+        factory, budget_seconds=30.0, jitter=jitter, n_workers=args.workers
+    ).sweep_two_predicate(space)
+    parallel_s = time.perf_counter() - start
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"parallel: {parallel_s:8.2f}s  ({speedup:.2f}x)")
+
+    bit_identical = identical(serial_map, parallel_map)
+    print(f"bit-identical: {bit_identical}")
+
+    payload = {
+        "bench": "parallel_sweep_2d",
+        "rows": args.rows,
+        "grid": list(space.shape),
+        "n_plans": len(serial_map.plan_ids),
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 4),
+        "bit_identical": bit_identical,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    if not bit_identical:
+        print("FAIL: parallel map differs from serial map", file=sys.stderr)
+        return 1
+    cores = os.cpu_count() or 1
+    if args.require_speedup is not None:
+        if cores < args.workers:
+            print(
+                f"skipping speedup gate: {cores} cores < {args.workers} workers"
+            )
+        elif speedup < args.require_speedup:
+            print(
+                f"FAIL: speedup {speedup:.2f}x < required "
+                f"{args.require_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

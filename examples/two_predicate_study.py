@@ -12,7 +12,8 @@ as SVG + PNG files in ``two_predicate_out/``, plus ASCII previews and the
 per-plan robustness ranking on stdout.
 
 Run:  python examples/two_predicate_study.py
-Env:  REPRO_EXAMPLE_ROWS (default 32768), REPRO_EXAMPLE_MIN_EXP (default -8).
+Env:  REPRO_EXAMPLE_ROWS (default 32768), REPRO_EXAMPLE_MIN_EXP (default -8),
+      REPRO_EXAMPLE_WORKERS (default 0: serial; parallel is bit-identical).
 """
 
 import os
@@ -21,7 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    RobustnessSweep,
+    ParallelSweep,
     Space2D,
     SystemConfig,
     LineitemConfig,
@@ -44,17 +45,26 @@ from repro.viz import (
 
 N_ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", 32768))
 MIN_EXP = int(os.environ.get("REPRO_EXAMPLE_MIN_EXP", -8))
+N_WORKERS = int(os.environ.get("REPRO_EXAMPLE_WORKERS", 0))
 OUT = Path("two_predicate_out")
 
 
-def main() -> None:
-    systems = build_three_systems(
-        SystemConfig(lineitem=LineitemConfig(n_rows=N_ROWS))
+def build_systems():
+    """Module-level factory so parallel workers can rebuild the systems."""
+    return list(
+        build_three_systems(
+            SystemConfig(lineitem=LineitemConfig(n_rows=N_ROWS))
+        ).values()
     )
-    sweep = RobustnessSweep(
-        list(systems.values()),
+
+
+def main() -> None:
+    sweep = ParallelSweep(
+        build_systems,
         budget_seconds=5.0,
         jitter=Jitter(rel=0.01, abs=0.0005),
+        n_workers=N_WORKERS,
+        progress=lambda message: print(f"  {message}"),
     )
     mapdata = sweep.sweep_two_predicate(Space2D.log2("sel_a", "sel_b", MIN_EXP, 0))
     OUT.mkdir(exist_ok=True)

@@ -58,6 +58,8 @@ from repro.core import (
     MapData,
     RobustnessSweep,
     Jitter,
+    ParallelSweep,
+    PlanIdFilter,
     best_times,
     relative_to_best,
     quotient_for,
@@ -106,6 +108,8 @@ __all__ = [
     "MapData",
     "RobustnessSweep",
     "Jitter",
+    "ParallelSweep",
+    "PlanIdFilter",
     "best_times",
     "relative_to_best",
     "quotient_for",

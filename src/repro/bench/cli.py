@@ -3,9 +3,13 @@
 Usage::
 
     repro-figures [output_dir] [--figures fig01,fig07] [--rows 65536]
+                  [--workers 4] [--progress]
 
 Writes SVG/PNG artifacts, prints the paper-vs-measured claim tables, and
 exits non-zero if any claim fails (usable as a CI robustness gate).
+``--workers`` fans the sweeps out over worker processes (bit-identical
+to the serial default); ``--progress`` streams per-cell/per-chunk status
+with an ETA to stderr.
 """
 
 from __future__ import annotations
@@ -13,11 +17,36 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import BenchConfig, BenchSession
 from repro.bench.report import format_claims
+
+
+class _ProgressPrinter:
+    """Streams sweep progress lines to stderr with elapsed/ETA."""
+
+    def __init__(self) -> None:
+        self.start = time.monotonic()
+        self.n_lines = 0
+
+    def __call__(self, message: str) -> None:
+        self.n_lines += 1
+        elapsed = time.monotonic() - self.start
+        # Parallel chunks carry their own ETA; annotate serial per-cell
+        # messages ("cell k/n ...") with one derived from the cell rate.
+        if "eta" not in message and "/" in message:
+            try:
+                done, total = message.split("cell", 1)[1].split()[0].split("/")
+                done_i, total_i = int(done), int(total)
+                if done_i:
+                    eta = elapsed / done_i * (total_i - done_i)
+                    message = f"{message} [elapsed {elapsed:.1f}s, eta {eta:.1f}s]"
+            except (ValueError, IndexError):
+                pass
+        print(f"  {message}", file=sys.stderr, flush=True)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,11 +60,26 @@ def main(argv: list[str] | None = None) -> int:
         + ")",
     )
     parser.add_argument("--rows", type=int, default=None, help="table rows override")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_BENCH_WORKERS or serial; "
+        "-1 uses all cores)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream sweep progress with ETA to stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.rows is not None:
         os.environ["REPRO_BENCH_ROWS"] = str(args.rows)
-    session = BenchSession(BenchConfig())
+    if args.workers is not None:
+        os.environ["REPRO_BENCH_WORKERS"] = str(args.workers)
+    progress = _ProgressPrinter() if args.progress else None
+    session = BenchSession(BenchConfig(), progress=progress)
     wanted = list(ALL_FIGURES) if args.figures == "all" else args.figures.split(",")
     unknown = [figure for figure in wanted if figure not in ALL_FIGURES]
     if unknown:

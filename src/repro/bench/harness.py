@@ -9,15 +9,24 @@ Scale knobs (environment variables, so CI can dial them):
   paper used a finer monitor, we default to a 13x13 grid).
 * ``REPRO_BENCH_CACHE``    — directory for on-disk MapData caching
   (default: no disk cache).
+* ``REPRO_BENCH_WORKERS``  — sweep worker processes (default 0: serial;
+  the parallel path is bit-identical, so this is purely a speed knob).
+
+Disk-cache entries are keyed on a fingerprint of the *full* config —
+changing any knob that shapes the map (grid exponents, budget, memory,
+pool pages, ...) gets a fresh cache file instead of silently reusing a
+stale, wrong-shape map.  Files are additionally validated at load time.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from repro.core.mapdata import MapData
+from repro.core.parallel import ParallelSweep
 from repro.core.parameter_space import Space1D, Space2D
 from repro.core.runner import Jitter, RobustnessSweep
 from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
@@ -43,23 +52,79 @@ class BenchConfig:
     memory_bytes: int = 4 << 20
     """Workspace memory per plan (bounded, so large builds spill)."""
 
+    n_workers: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
+    )
+    """Sweep worker processes (0/1: serial, -1: all cores)."""
+
     cache_dir: str | None = field(
         default_factory=lambda: os.environ.get("REPRO_BENCH_CACHE")
     )
+
+    def fingerprint(self) -> str:
+        """Digest over every result-shaping knob (not workers/cache_dir).
+
+        Worker count and cache location cannot change the measured map —
+        the parallel engine is bit-identical — so they stay out of the
+        fingerprint and do not invalidate caches.
+        """
+        excluded = {"n_workers", "cache_dir"}
+        payload = repr(
+            [
+                (f.name, getattr(self, f.name))
+                for f in fields(self)
+                if f.name not in excluded
+            ]
+        ).encode("utf-8")
+        return hashlib.blake2s(payload, digest_size=8).hexdigest()
 
     def cache_path(self, key: str) -> Path | None:
         if not self.cache_dir:
             return None
         directory = Path(self.cache_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        return directory / f"{key}_rows{self.n_rows}_seed{self.seed}.json"
+        return (
+            directory
+            / f"{key}_rows{self.n_rows}_seed{self.seed}_{self.fingerprint()}.json"
+        )
+
+
+def _session_systems(config: BenchConfig) -> list[DatabaseSystem]:
+    """Build the three bench systems for a config (picklable factory)."""
+    return list(
+        build_three_systems(
+            SystemConfig(
+                lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
+                pool_pages=config.pool_pages,
+            )
+        ).values()
+    )
+
+
+def _session_system_a(config: BenchConfig) -> list[DatabaseSystem]:
+    """System A alone (the 1-D sweeps), as a picklable factory."""
+    from repro.systems.system_a import SystemA
+
+    return [
+        SystemA(
+            SystemConfig(
+                lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
+                pool_pages=config.pool_pages,
+            )
+        )
+    ]
 
 
 class BenchSession:
     """Builds systems lazily and memoizes the expensive sweeps."""
 
-    def __init__(self, config: BenchConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BenchConfig | None = None,
+        progress=None,
+    ) -> None:
         self.config = config or BenchConfig()
+        self.progress = progress
         self._systems: dict[str, DatabaseSystem] | None = None
         self._maps: dict[str, MapData] = {}
 
@@ -94,29 +159,69 @@ class BenchSession:
 
     # ------------------------------------------------------------------
 
+    def _grid_shape(self, key: str) -> tuple[int, ...]:
+        """Expected grid shape for a cached map (stale-file detection)."""
+        if key.startswith("single_predicate"):
+            return (1 - self.config.min_exp_1d,)
+        n = 1 - self.config.min_exp_2d
+        return (n, n)
+
+    def _cache_valid(self, mapdata: MapData, key: str) -> bool:
+        return (
+            mapdata.meta.get("config_fingerprint") == self.config.fingerprint()
+            and mapdata.grid_shape == self._grid_shape(key)
+            and not mapdata.is_partial
+        )
+
     def _cached(self, key: str, compute) -> MapData:
         if key in self._maps:
             return self._maps[key]
         path = self.config.cache_path(key)
+        mapdata: MapData | None = None
         if path is not None and path.exists():
-            mapdata = MapData.load(path)
-        else:
+            loaded = MapData.load(path)
+            if self._cache_valid(loaded, key):
+                mapdata = loaded
+        if mapdata is None:
             mapdata = compute()
+            mapdata.meta["config_fingerprint"] = self.config.fingerprint()
             if path is not None:
                 mapdata.save(path)
         self._maps[key] = mapdata
         return mapdata
 
+    def _wants_parallel(self) -> bool:
+        """True when n_workers asks for workers (-1 means all cores)."""
+        return self.config.n_workers == -1 or self.config.n_workers > 1
+
+    def _sweep_engine(self, factory, jitter: Jitter | None = None) -> ParallelSweep:
+        """One knob for both paths: serial when n_workers <= 1."""
+        return ParallelSweep(
+            factory,
+            budget_seconds=self.budget(),
+            memory_bytes=self.config.memory_bytes,
+            jitter=jitter,
+            n_workers=self.config.n_workers,
+            progress=self.progress,
+        )
+
     def single_predicate_map(self) -> MapData:
         """1-D sweep over System A's 7 single-predicate plans (Figs 1-2)."""
 
         def compute() -> MapData:
+            config = self.config
+            space = Space1D.log2("selectivity", config.min_exp_1d, 0)
+            if self._wants_parallel():
+                from functools import partial
+
+                engine = self._sweep_engine(partial(_session_system_a, config))
+                return engine.sweep_single_predicate(space)
             sweep = RobustnessSweep(
                 [self.system_a],
                 budget_seconds=self.budget(),
-                memory_bytes=self.config.memory_bytes,
+                memory_bytes=config.memory_bytes,
+                progress=self.progress or (lambda message: None),
             )
-            space = Space1D.log2("selectivity", self.config.min_exp_1d, 0)
             return sweep.sweep_single_predicate(space)
 
         return self._cached("single_predicate", compute)
@@ -125,15 +230,25 @@ class BenchSession:
         """2-D sweep over all 15 plans of systems A, B, C (Figs 4-10)."""
 
         def compute() -> MapData:
+            config = self.config
+            noise = (
+                Jitter(rel=0.01, abs=0.0005, seed=config.seed) if jitter else None
+            )
+            space = Space2D.log2("sel_a", "sel_b", config.min_exp_2d, 0)
+            if self._wants_parallel():
+                from functools import partial
+
+                engine = self._sweep_engine(
+                    partial(_session_systems, config), jitter=noise
+                )
+                return engine.sweep_two_predicate(space)
             sweep = RobustnessSweep(
                 list(self.systems.values()),
                 budget_seconds=self.budget(),
-                memory_bytes=self.config.memory_bytes,
-                jitter=Jitter(rel=0.01, abs=0.0005, seed=self.config.seed)
-                if jitter
-                else None,
+                memory_bytes=config.memory_bytes,
+                jitter=noise,
+                progress=self.progress or (lambda message: None),
             )
-            space = Space2D.log2("sel_a", "sel_b", self.config.min_exp_2d, 0)
             return sweep.sweep_two_predicate(space)
 
         key = "two_predicate" + ("" if jitter else "_nojitter")

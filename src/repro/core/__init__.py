@@ -6,6 +6,7 @@ families and the quantitative machinery around them:
 * :mod:`parameter_space` — 1-D / 2-D log-spaced selectivity grids.
 * :mod:`mapdata` — the measured cost cube (plan x grid), serializable.
 * :mod:`runner` — sweeps forced plans over grids under cold caches.
+* :mod:`parallel` — chunked multi-process sweeps, bit-identical to serial.
 * :mod:`maps` — absolute maps and performance relative to the best plan.
 * :mod:`optimality` — tolerance-based optimal-plan sets and the size,
   shape, and contiguity of optimality regions (Figs 7-10).
@@ -19,6 +20,7 @@ families and the quantitative machinery around them:
 from repro.core.parameter_space import Space1D, Space2D, log2_targets
 from repro.core.mapdata import MapData
 from repro.core.runner import RobustnessSweep, Jitter
+from repro.core.parallel import ParallelSweep, PlanIdFilter, partition_cells
 from repro.core.maps import best_times, relative_to_best, quotient_for
 from repro.core.optimality import (
     optimal_mask,
@@ -45,6 +47,9 @@ __all__ = [
     "MapData",
     "RobustnessSweep",
     "Jitter",
+    "ParallelSweep",
+    "PlanIdFilter",
+    "partition_cells",
     "best_times",
     "relative_to_best",
     "quotient_for",

@@ -5,17 +5,45 @@ seconds, whether the measurement was censored by the cost budget, and per
 cell the query's true result size and achieved selectivities.  It is the
 single exchange format between the sweep runner, the analysis modules,
 the renderers, and the benches (JSON round-trip for caching).
+
+A MapData may be *partial*: ``meta["cells"]`` lists the flat grid indices
+that were actually measured.  Partial maps come out of chunked parallel
+sweeps and are recombined with :meth:`MapData.merge`.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ExperimentError
+
+
+def _encode_nan(array: np.ndarray | None):
+    """Nested lists with NaN encoded as None (JSON has no NaN literal)."""
+    if array is None:
+        return None
+    arr = np.asarray(array, dtype=float)
+    obj = arr.astype(object)
+    obj[np.isnan(arr)] = None
+    return obj.tolist()
+
+
+def _decode_nan(obj) -> np.ndarray | None:
+    """Inverse of :func:`_encode_nan`: None becomes NaN, any nesting depth."""
+    if obj is None:
+        return None
+
+    def walk(value):
+        if isinstance(value, list):
+            return [walk(item) for item in value]
+        return np.nan if value is None else float(value)
+
+    return np.asarray(walk(obj), dtype=float)
 
 
 @dataclass
@@ -93,59 +121,127 @@ class MapData:
         )
 
     # ------------------------------------------------------------------
+    # partial maps and merging
+    # ------------------------------------------------------------------
+
+    @property
+    def filled_cells(self) -> np.ndarray:
+        """Flat indices of measured cells (all cells unless partial)."""
+        cells = self.meta.get("cells")
+        if cells is None:
+            return np.arange(int(np.prod(self.grid_shape)), dtype=np.int64)
+        return np.asarray(sorted(int(c) for c in cells), dtype=np.int64)
+
+    @property
+    def is_partial(self) -> bool:
+        return "cells" in self.meta
+
+    @classmethod
+    def merge(cls, parts: Sequence["MapData"]) -> "MapData":
+        """Recombine partial maps (disjoint cell subsets of one grid).
+
+        Every part must carry ``meta["cells"]``; the parts must agree on
+        plan ids, grid shape, and axis arrays.  The merged map covers the
+        union of the parts' cells — ``meta["cells"]`` is dropped when the
+        union is the full grid, kept (sorted) otherwise.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ExperimentError("cannot merge zero map parts")
+        first = parts[0]
+        shape = first.grid_shape
+        n_cells = int(np.prod(shape))
+
+        times = np.full_like(first.times, np.nan)
+        aborted = np.zeros_like(first.aborted)
+        rows = np.zeros_like(np.asarray(first.rows))
+        seen: set[int] = set()
+
+        def same_axis(a, b) -> bool:
+            if a is None or b is None:
+                return a is None and b is None
+            return np.array_equal(np.asarray(a), np.asarray(b))
+
+        for part in parts:
+            if "cells" not in part.meta:
+                raise ExperimentError(
+                    "merge needs partial maps (meta['cells'] missing)"
+                )
+            if part.plan_ids != first.plan_ids:
+                raise ExperimentError(
+                    f"plan ids differ across parts: {part.plan_ids} "
+                    f"vs {first.plan_ids}"
+                )
+            if part.grid_shape != shape:
+                raise ExperimentError(
+                    f"grid shapes differ across parts: {part.grid_shape} "
+                    f"vs {shape}"
+                )
+            for ours, theirs in (
+                (first.x_targets, part.x_targets),
+                (first.x_achieved, part.x_achieved),
+                (first.y_targets, part.y_targets),
+                (first.y_achieved, part.y_achieved),
+            ):
+                if not same_axis(ours, theirs):
+                    raise ExperimentError("axis arrays differ across parts")
+            cells = [int(c) for c in part.meta["cells"]]
+            overlap = seen.intersection(cells)
+            if overlap:
+                raise ExperimentError(
+                    f"parts overlap on cells {sorted(overlap)}"
+                )
+            seen.update(cells)
+            if not cells:
+                continue
+            idx = np.unravel_index(np.asarray(cells, dtype=np.int64), shape)
+            times[(slice(None), *idx)] = part.times[(slice(None), *idx)]
+            aborted[(slice(None), *idx)] = part.aborted[(slice(None), *idx)]
+            rows[idx] = np.asarray(part.rows)[idx]
+
+        meta = {k: v for k, v in first.meta.items() if k != "cells"}
+        if len(seen) != n_cells:
+            meta["cells"] = sorted(seen)
+        return cls(
+            plan_ids=list(first.plan_ids),
+            times=times,
+            aborted=aborted,
+            rows=rows,
+            x_targets=first.x_targets,
+            x_achieved=first.x_achieved,
+            y_targets=first.y_targets,
+            y_achieved=first.y_achieved,
+            meta=meta,
+        )
+
+    # ------------------------------------------------------------------
     # serialization (JSON; NaN encoded as None)
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        def encode(array: np.ndarray | None):
-            if array is None:
-                return None
-            return np.where(np.isnan(array), None, array).tolist() if array.dtype.kind == "f" else array.tolist()
-
         return {
             "plan_ids": self.plan_ids,
-            "times": encode(self.times),
+            "times": _encode_nan(self.times),
             "aborted": self.aborted.tolist(),
             "rows": np.asarray(self.rows).tolist(),
-            "x_targets": encode(np.asarray(self.x_targets, dtype=float)),
-            "x_achieved": encode(np.asarray(self.x_achieved, dtype=float)),
-            "y_targets": encode(
-                None if self.y_targets is None else np.asarray(self.y_targets, dtype=float)
-            ),
-            "y_achieved": encode(
-                None if self.y_achieved is None else np.asarray(self.y_achieved, dtype=float)
-            ),
+            "x_targets": _encode_nan(self.x_targets),
+            "x_achieved": _encode_nan(self.x_achieved),
+            "y_targets": _encode_nan(self.y_targets),
+            "y_achieved": _encode_nan(self.y_achieved),
             "meta": self.meta,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "MapData":
-        def decode(obj, dtype=float):
-            if obj is None:
-                return None
-            array = np.asarray(
-                [[np.nan if v is None else v for v in row] for row in obj]
-                if obj and isinstance(obj[0], list)
-                else [np.nan if v is None else v for v in obj],
-                dtype=dtype,
-            )
-            return array
-
-        times_raw = data["times"]
-        times = np.asarray(
-            json.loads(json.dumps(times_raw), parse_constant=lambda c: None),
-            dtype=object,
-        )
-        times = np.where(times == None, np.nan, times).astype(float)  # noqa: E711
         return cls(
             plan_ids=list(data["plan_ids"]),
-            times=times,
+            times=_decode_nan(data["times"]),
             aborted=np.asarray(data["aborted"], dtype=bool),
             rows=np.asarray(data["rows"], dtype=np.int64),
-            x_targets=decode(data["x_targets"]),
-            x_achieved=decode(data["x_achieved"]),
-            y_targets=decode(data.get("y_targets")),
-            y_achieved=decode(data.get("y_achieved")),
+            x_targets=_decode_nan(data["x_targets"]),
+            x_achieved=_decode_nan(data["x_achieved"]),
+            y_targets=_decode_nan(data.get("y_targets")),
+            y_achieved=_decode_nan(data.get("y_achieved")),
             meta=dict(data.get("meta", {})),
         )
 

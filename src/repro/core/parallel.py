@@ -1,0 +1,227 @@
+"""Parallel, incremental sweep engine.
+
+Robustness maps are embarrassingly parallel: every cell is an independent
+cold-cache measurement on a private virtual clock.  This module partitions
+a :class:`Space1D`/:class:`Space2D` grid into chunks of flat cell indices,
+fans the chunks out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and merges the per-chunk partial :class:`MapData` results.
+
+Because each worker rebuilds the systems from the same deterministic
+factory and the jitter digest is process-independent, the merged map is
+**bit-identical** to the serial sweep — times, aborted flags, rows, and
+meta all match, regardless of worker count or chunk size.
+
+Workers build their systems once (in the pool initializer) and amortize
+that cost over every chunk they process.  ``n_workers <= 1`` falls back
+to a plain in-process :class:`RobustnessSweep`, so callers can thread a
+single knob through without branching.
+
+The systems ``factory`` and any ``plan_filter`` must be picklable (a
+module-level function or :class:`functools.partial` — use
+:class:`PlanIdFilter` instead of a lambda) so the engine also works under
+the ``spawn`` start method.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.mapdata import MapData
+from repro.core.parameter_space import Space1D, Space2D
+from repro.core.runner import Jitter, RobustnessSweep
+from repro.errors import ExperimentError
+from repro.systems.base import DatabaseSystem
+
+SystemFactory = Callable[[], Sequence[DatabaseSystem]]
+
+
+@dataclass(frozen=True)
+class PlanIdFilter:
+    """Picklable plan filter: keep exactly the given plan ids."""
+
+    allowed: frozenset
+
+    def __init__(self, allowed) -> None:
+        object.__setattr__(self, "allowed", frozenset(allowed))
+
+    def __call__(self, plan_id: str) -> bool:
+        return plan_id in self.allowed
+
+
+def partition_cells(n_cells: int, n_chunks: int) -> list[list[int]]:
+    """Split ``range(n_cells)`` into at most ``n_chunks`` contiguous runs.
+
+    Contiguous runs keep each worker's predicate/mask reuse warm and make
+    chunk boundaries easy to reason about; sizes differ by at most one.
+    """
+    if n_cells <= 0:
+        raise ExperimentError(f"cannot partition {n_cells} cells")
+    n_chunks = max(1, min(n_chunks, n_cells))
+    base, extra = divmod(n_cells, n_chunks)
+    chunks: list[list[int]] = []
+    start = 0
+    for c in range(n_chunks):
+        size = base + (1 if c < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# worker side: one sweep per process, built once, reused for every chunk
+# ---------------------------------------------------------------------------
+
+_WORKER_SWEEP: RobustnessSweep | None = None
+
+
+def _init_worker(factory: SystemFactory, sweep_kwargs: dict) -> None:
+    global _WORKER_SWEEP
+    _WORKER_SWEEP = RobustnessSweep(list(factory()), **sweep_kwargs)
+
+
+def _run_chunk(
+    kind: str,
+    space,
+    column: str | None,
+    plan_filter,
+    cells: list[int],
+) -> MapData:
+    assert _WORKER_SWEEP is not None, "worker pool not initialized"
+    if kind == "single":
+        return _WORKER_SWEEP.sweep_single_predicate(
+            space, column=column, plan_filter=plan_filter, cells=cells
+        )
+    return _WORKER_SWEEP.sweep_two_predicate(
+        space, plan_filter=plan_filter, cells=cells
+    )
+
+
+# ---------------------------------------------------------------------------
+# driver side
+# ---------------------------------------------------------------------------
+
+
+class ParallelSweep:
+    """Chunked multi-process front end for :class:`RobustnessSweep`.
+
+    Parameters mirror :class:`RobustnessSweep`, plus:
+
+    * ``factory`` — zero-argument picklable callable returning the systems
+      to sweep (each worker calls it once).
+    * ``n_workers`` — process count; ``0``/``1`` runs serially in-process,
+      ``-1`` uses ``os.cpu_count()``.
+    * ``chunk_cells`` — cells per chunk; ``0`` auto-sizes to roughly four
+      chunks per worker (load balance without drowning in IPC).
+    * ``progress`` — receives one message per finished chunk with cell
+      counts and an ETA estimate.
+    """
+
+    def __init__(
+        self,
+        factory: SystemFactory,
+        budget_seconds: float | None = None,
+        memory_bytes: int | None = None,
+        jitter: Jitter | None = None,
+        verify_agreement: bool = True,
+        n_workers: int = 0,
+        chunk_cells: int = 0,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.factory = factory
+        self.sweep_kwargs = {
+            "budget_seconds": budget_seconds,
+            "memory_bytes": memory_bytes,
+            "jitter": jitter,
+            "verify_agreement": verify_agreement,
+        }
+        self.n_workers = n_workers
+        self.chunk_cells = chunk_cells
+        self.progress = progress or (lambda message: None)
+        self._serial: RobustnessSweep | None = None
+
+    # ------------------------------------------------------------------
+
+    def resolved_workers(self) -> int:
+        if self.n_workers == -1:
+            return max(1, os.cpu_count() or 1)
+        return max(1, self.n_workers)
+
+    def _serial_sweep(self) -> RobustnessSweep:
+        if self._serial is None:
+            self._serial = RobustnessSweep(
+                list(self.factory()), progress=self.progress, **self.sweep_kwargs
+            )
+        return self._serial
+
+    def _chunks(self, n_cells: int, workers: int) -> list[list[int]]:
+        if self.chunk_cells > 0:
+            n_chunks = -(-n_cells // self.chunk_cells)
+        else:
+            n_chunks = workers * 4
+        return partition_cells(n_cells, n_chunks)
+
+    def _run(
+        self,
+        kind: str,
+        space,
+        n_cells: int,
+        column: str | None,
+        plan_filter,
+    ) -> MapData:
+        workers = self.resolved_workers()
+        if workers <= 1 or n_cells < 2:
+            if kind == "single":
+                return self._serial_sweep().sweep_single_predicate(
+                    space, column=column, plan_filter=plan_filter
+                )
+            return self._serial_sweep().sweep_two_predicate(
+                space, plan_filter=plan_filter
+            )
+
+        chunks = self._chunks(n_cells, workers)
+        parts: list[MapData] = []
+        done_cells = 0
+        start = time.monotonic()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(self.factory, self.sweep_kwargs),
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, kind, space, column, plan_filter, chunk): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                parts.append(future.result())
+                done_cells += len(futures[future])
+                elapsed = time.monotonic() - start
+                eta = elapsed / done_cells * (n_cells - done_cells)
+                self.progress(
+                    f"{kind} sweep: {done_cells}/{n_cells} cells "
+                    f"({len(parts)}/{len(chunks)} chunks, "
+                    f"elapsed {elapsed:.1f}s, eta {eta:.1f}s)"
+                )
+        return MapData.merge(parts)
+
+    # ------------------------------------------------------------------
+
+    def sweep_single_predicate(
+        self,
+        space: Space1D,
+        column: str | None = None,
+        plan_filter: Callable[[str], bool] | None = None,
+    ) -> MapData:
+        """Parallel 1-D sweep; bit-identical to the serial path."""
+        return self._run("single", space, space.n_points, column, plan_filter)
+
+    def sweep_two_predicate(
+        self,
+        space: Space2D,
+        plan_filter: Callable[[str], bool] | None = None,
+    ) -> MapData:
+        """Parallel 2-D sweep; bit-identical to the serial path."""
+        return self._run("two", space, space.n_cells, None, plan_filter)

@@ -13,15 +13,16 @@ of Fig 10 without sacrificing reproducibility.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.mapdata import MapData
 from repro.core.parameter_space import Space1D, Space2D
 from repro.errors import ExperimentError
-from repro.executor.plans import MeasuredRun
+from repro.executor.plans import MeasuredRun, PlanRunner
 from repro.systems.base import DatabaseSystem
 from repro.workloads.queries import SinglePredicateQuery, TwoPredicateQuery
 from repro.workloads.selectivity import PredicateBuilder
@@ -36,7 +37,16 @@ class Jitter:
     seed: int = 2009
 
     def apply(self, seconds: float, plan_id: str, cell: tuple[int, ...]) -> float:
-        digest = hash((self.seed, plan_id, cell)) & 0xFFFFFFFF
+        # Process-independent digest: Python's builtin hash() of strings is
+        # randomized per process (PYTHONHASHSEED), which would make the
+        # "deterministic measurement flukes" differ between runs, workers,
+        # and cached maps.
+        payload = repr(
+            (int(self.seed), str(plan_id), tuple(int(c) for c in cell))
+        ).encode("utf-8")
+        digest = int.from_bytes(
+            hashlib.blake2s(payload, digest_size=8).digest(), "big"
+        )
         rng = np.random.default_rng(digest)
         noisy = seconds * (1.0 + self.rel * rng.standard_normal())
         noisy += self.abs * abs(rng.standard_normal())
@@ -66,18 +76,64 @@ class RobustnessSweep:
 
     # ------------------------------------------------------------------
 
+    def _runners(self) -> list[PlanRunner]:
+        """One measurement runner per system, built once per sweep.
+
+        Safe to reuse across cells: every :meth:`PlanRunner.measure` call
+        cold-resets the environment, so measurements stay independent.
+        """
+        return [
+            system.runner(
+                budget_seconds=self.budget_seconds,
+                memory_bytes=self.memory_bytes,
+            )
+            for system in self.systems
+        ]
+
+    def _collect_plan_ids(
+        self,
+        plans_per_system: list[dict],
+        plan_filter: Callable[[str], bool] | None,
+    ) -> list[str]:
+        """Filtered plan id list across systems; rejects id collisions."""
+        plan_ids: list[str] = []
+        for plans in plans_per_system:
+            for plan_id in plans:
+                if plan_filter is None or plan_filter(plan_id):
+                    plan_ids.append(plan_id)
+        duplicates = sorted(
+            {plan_id for plan_id in plan_ids if plan_ids.count(plan_id) > 1}
+        )
+        if duplicates:
+            raise ExperimentError(
+                f"duplicate plan ids across systems: {duplicates}; "
+                "measurements would silently overwrite each other"
+            )
+        return plan_ids
+
+    @staticmethod
+    def _resolve_cells(cells: Sequence[int] | None, n_cells: int) -> list[int]:
+        """Validated sorted flat cell indices (all cells when None)."""
+        if cells is None:
+            return list(range(n_cells))
+        resolved = sorted(int(c) for c in cells)
+        if resolved and (resolved[0] < 0 or resolved[-1] >= n_cells):
+            raise ExperimentError(
+                f"cell indices out of range for a {n_cells}-cell grid: "
+                f"{resolved}"
+            )
+        if len(set(resolved)) != len(resolved):
+            raise ExperimentError(f"duplicate cell indices: {resolved}")
+        return resolved
+
     def _measure_cell(
         self,
-        plans_by_system: list[tuple[DatabaseSystem, dict]],
+        plans_by_runner: list[tuple[PlanRunner, dict]],
         cell: tuple[int, ...],
         expected_rows: int,
     ) -> dict[str, MeasuredRun]:
         runs: dict[str, MeasuredRun] = {}
-        for system, plans in plans_by_system:
-            runner = system.runner(
-                budget_seconds=self.budget_seconds,
-                memory_bytes=self.memory_bytes,
-            )
+        for runner, plans in plans_by_runner:
             for plan_id, plan in plans.items():
                 run = runner.measure(plan)
                 if (
@@ -119,8 +175,14 @@ class RobustnessSweep:
         space: Space1D,
         column: str | None = None,
         plan_filter: Callable[[str], bool] | None = None,
+        cells: Sequence[int] | None = None,
     ) -> MapData:
-        """1-D sweep (Figs 1-2): one predicate, selectivity on the x axis."""
+        """1-D sweep (Figs 1-2): one predicate, selectivity on the x axis.
+
+        ``cells`` restricts the sweep to a subset of grid indices and
+        marks the result partial (``meta["cells"]``) for later
+        :meth:`MapData.merge` — the chunk unit of the parallel engine.
+        """
         reference = self.systems[0]
         column = column or reference.config.b_column
         builder = PredicateBuilder(reference.table, column)
@@ -128,35 +190,49 @@ class RobustnessSweep:
 
         # Discover the full plan id list from the first cell's plans.
         first_query = SinglePredicateQuery(predicates[0][0])
-        plan_ids: list[str] = []
-        for system in self.systems:
-            for plan_id in system.single_predicate_plans(first_query):
-                if plan_filter is None or plan_filter(plan_id):
-                    plan_ids.append(plan_id)
+        plan_ids = self._collect_plan_ids(
+            [system.single_predicate_plans(first_query) for system in self.systems],
+            plan_filter,
+        )
 
         n_points = space.n_points
+        cell_list = self._resolve_cells(cells, n_points)
         times = np.full((len(plan_ids), n_points), np.nan)
         aborted = np.zeros((len(plan_ids), n_points), dtype=bool)
         rows = np.zeros(n_points, dtype=np.int64)
-        achieved = np.zeros(n_points)
+        # Achieved selectivities derive from the predicate grid alone, so
+        # partial sweeps fill the full axis (parts must agree to merge).
+        achieved = np.asarray([a for _p, a in predicates])
 
-        for i, (predicate, achieved_sel) in enumerate(predicates):
+        runners = self._runners()
+        for done, i in enumerate(cell_list):
+            predicate, achieved_sel = predicates[i]
             query = SinglePredicateQuery(predicate)
             expected = int(query.oracle_rids(reference.table).size)
             rows[i] = expected
-            achieved[i] = achieved_sel
-            plans_by_system = []
-            for system in self.systems:
+            plans_by_runner = []
+            for system, runner in zip(self.systems, runners):
                 plans = {
                     plan_id: plan
                     for plan_id, plan in system.single_predicate_plans(query).items()
                     if plan_filter is None or plan_filter(plan_id)
                 }
-                plans_by_system.append((system, plans))
-            runs = self._measure_cell(plans_by_system, (i,), expected)
+                plans_by_runner.append((runner, plans))
+            runs = self._measure_cell(plans_by_runner, (i,), expected)
             self._record(runs, plan_ids, times, aborted, (i,))
-            self.progress(f"1-D cell {i + 1}/{n_points} (sel={achieved_sel:.2e})")
+            self.progress(
+                f"1-D cell {done + 1}/{len(cell_list)} (sel={achieved_sel:.2e})"
+            )
 
+        meta = {
+            "sweep": "single-predicate",
+            "column": column,
+            "budget_seconds": self.budget_seconds,
+            "systems": [system.name for system in self.systems],
+            "n_rows_table": reference.table.n_rows,
+        }
+        if cells is not None:
+            meta["cells"] = cell_list
         return MapData(
             plan_ids=plan_ids,
             times=times,
@@ -164,21 +240,21 @@ class RobustnessSweep:
             rows=rows,
             x_targets=space.targets,
             x_achieved=achieved,
-            meta={
-                "sweep": "single-predicate",
-                "column": column,
-                "budget_seconds": self.budget_seconds,
-                "systems": [system.name for system in self.systems],
-                "n_rows_table": reference.table.n_rows,
-            },
+            meta=meta,
         )
 
     def sweep_two_predicate(
         self,
         space: Space2D,
         plan_filter: Callable[[str], bool] | None = None,
+        cells: Sequence[int] | None = None,
     ) -> MapData:
-        """2-D sweep (Figs 4-10): both predicate selectivities vary."""
+        """2-D sweep (Figs 4-10): both predicate selectivities vary.
+
+        ``cells`` (flat row-major indices over the nx x ny grid) restricts
+        the sweep to a subset and marks the result partial, exactly like
+        :meth:`sweep_single_predicate`.
+        """
         reference = self.systems[0]
         a_column = reference.config.a_column
         b_column = reference.config.b_column
@@ -188,13 +264,13 @@ class RobustnessSweep:
         preds_b = builder_b.predicates_for_grid(space.y.targets)
 
         first_query = TwoPredicateQuery(preds_a[0][0], preds_b[0][0])
-        plan_ids = []
-        for system in self.systems:
-            for plan_id in system.two_predicate_plans(first_query):
-                if plan_filter is None or plan_filter(plan_id):
-                    plan_ids.append(plan_id)
+        plan_ids = self._collect_plan_ids(
+            [system.two_predicate_plans(first_query) for system in self.systems],
+            plan_filter,
+        )
 
         nx, ny = space.shape
+        cell_list = self._resolve_cells(cells, nx * ny)
         times = np.full((len(plan_ids), nx, ny), np.nan)
         aborted = np.zeros((len(plan_ids), nx, ny), dtype=bool)
         rows = np.zeros((nx, ny), dtype=np.int64)
@@ -202,23 +278,36 @@ class RobustnessSweep:
         mask_a_cache = [pred.mask(reference.table.column(a_column)) for pred, _ in preds_a]
         mask_b_cache = [pred.mask(reference.table.column(b_column)) for pred, _ in preds_b]
 
-        for ix, (pred_a, _ach_a) in enumerate(preds_a):
-            for iy, (pred_b, _ach_b) in enumerate(preds_b):
-                query = TwoPredicateQuery(pred_a, pred_b)
-                expected = int(np.count_nonzero(mask_a_cache[ix] & mask_b_cache[iy]))
-                rows[ix, iy] = expected
-                plans_by_system = []
-                for system in self.systems:
-                    plans = {
-                        plan_id: plan
-                        for plan_id, plan in system.two_predicate_plans(query).items()
-                        if plan_filter is None or plan_filter(plan_id)
-                    }
-                    plans_by_system.append((system, plans))
-                runs = self._measure_cell(plans_by_system, (ix, iy), expected)
-                self._record(runs, plan_ids, times, aborted, (ix, iy))
-            self.progress(f"2-D row {ix + 1}/{nx}")
+        runners = self._runners()
+        for done, flat in enumerate(cell_list):
+            ix, iy = divmod(flat, ny)
+            pred_a = preds_a[ix][0]
+            pred_b = preds_b[iy][0]
+            query = TwoPredicateQuery(pred_a, pred_b)
+            expected = int(np.count_nonzero(mask_a_cache[ix] & mask_b_cache[iy]))
+            rows[ix, iy] = expected
+            plans_by_runner = []
+            for system, runner in zip(self.systems, runners):
+                plans = {
+                    plan_id: plan
+                    for plan_id, plan in system.two_predicate_plans(query).items()
+                    if plan_filter is None or plan_filter(plan_id)
+                }
+                plans_by_runner.append((runner, plans))
+            runs = self._measure_cell(plans_by_runner, (ix, iy), expected)
+            self._record(runs, plan_ids, times, aborted, (ix, iy))
+            self.progress(f"2-D cell {done + 1}/{len(cell_list)} ({ix},{iy})")
 
+        meta = {
+            "sweep": "two-predicate",
+            "a_column": a_column,
+            "b_column": b_column,
+            "budget_seconds": self.budget_seconds,
+            "systems": [system.name for system in self.systems],
+            "n_rows_table": reference.table.n_rows,
+        }
+        if cells is not None:
+            meta["cells"] = cell_list
         return MapData(
             plan_ids=plan_ids,
             times=times,
@@ -228,12 +317,5 @@ class RobustnessSweep:
             x_achieved=np.asarray([a for _p, a in preds_a]),
             y_targets=space.y.targets,
             y_achieved=np.asarray([a for _p, a in preds_b]),
-            meta={
-                "sweep": "two-predicate",
-                "a_column": a_column,
-                "b_column": b_column,
-                "budget_seconds": self.budget_seconds,
-                "systems": [system.name for system in self.systems],
-                "n_rows_table": reference.table.n_rows,
-            },
+            meta=meta,
         )

@@ -32,6 +32,18 @@ class SimClock:
             raise ExecutionError(f"cannot advance clock by negative time {seconds!r}")
         self._now += seconds
 
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind to ``start`` (a fresh measurement epoch).
+
+        Elapsed times are float differences, so their low-order bits
+        depend on the *absolute* clock value; rewinding at every cold
+        reset makes a measurement bit-identical regardless of how much
+        virtual time earlier measurements accumulated.
+        """
+        if start < 0:
+            raise ExecutionError(f"clock cannot reset to negative time {start!r}")
+        self._now = float(start)
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f}s)"
 

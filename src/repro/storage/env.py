@@ -30,13 +30,16 @@ class StorageEnv:
         self.temp = TempStore(self.disk)
 
     def cold_reset(self) -> None:
-        """Empty the buffer pool and forget disk position.
+        """Empty the buffer pool, forget disk position, rewind the clock.
 
         Called between measurements so every map cell is a cold-cache run,
-        matching the paper's methodology of independent measurements.
+        matching the paper's methodology of independent measurements.  The
+        clock rewind keeps measurements bit-identical no matter how much
+        virtual time (and float rounding) prior measurements accumulated.
         """
         self.pool.clear()
         self.disk.forget_position()
+        self.clock.reset()
 
     def stopwatch(self) -> Stopwatch:
         """A stopwatch bound to this environment's clock."""

@@ -1,0 +1,100 @@
+"""Disk-cache keys and staleness: the full-config fingerprint bugfix."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchConfig, BenchSession
+from repro.core.mapdata import MapData
+
+
+def tiny_config(tmp_path, **overrides) -> BenchConfig:
+    defaults = dict(
+        n_rows=512,
+        min_exp_1d=-3,
+        min_exp_2d=-2,
+        pool_pages=32,
+        cache_dir=str(tmp_path),
+    )
+    defaults.update(overrides)
+    return BenchConfig(**defaults)
+
+
+def test_fingerprint_tracks_every_shaping_knob(tmp_path):
+    base = tiny_config(tmp_path)
+    assert base.fingerprint() == tiny_config(tmp_path).fingerprint()
+    for change in (
+        {"min_exp_1d": -4},
+        {"min_exp_2d": -3},
+        {"budget_scale": 10.0},
+        {"memory_bytes": 1 << 20},
+        {"pool_pages": 64},
+        {"n_rows": 1024},
+        {"seed": 7},
+    ):
+        assert tiny_config(tmp_path, **change).fingerprint() != base.fingerprint()
+
+
+def test_fingerprint_ignores_workers_and_cache_dir(tmp_path):
+    base = tiny_config(tmp_path)
+    assert tiny_config(tmp_path, n_workers=4).fingerprint() == base.fingerprint()
+    assert (
+        dataclasses.replace(base, cache_dir=None).fingerprint()
+        == base.fingerprint()
+    )
+
+
+def test_cache_path_embeds_fingerprint(tmp_path):
+    base = tiny_config(tmp_path)
+    changed = tiny_config(tmp_path, budget_scale=10.0)
+    assert base.cache_path("single_predicate") != changed.cache_path(
+        "single_predicate"
+    )
+
+
+def test_changed_config_does_not_reuse_stale_cache(tmp_path):
+    config = tiny_config(tmp_path)
+    first = BenchSession(config).single_predicate_map()
+    assert first.grid_shape == (4,)
+    # Regression: with rows/seed-only keys, shrinking the grid reused the
+    # old 4-point map; the fingerprinted key computes a fresh 3-point one.
+    shrunk = tiny_config(tmp_path, min_exp_1d=-2)
+    second = BenchSession(shrunk).single_predicate_map()
+    assert second.grid_shape == (3,)
+
+
+def test_cache_hit_round_trips_bit_identically(tmp_path):
+    config = tiny_config(tmp_path)
+    computed = BenchSession(config).single_predicate_map()
+    cached = BenchSession(config).single_predicate_map()
+    assert np.array_equal(cached.times, computed.times, equal_nan=True)
+    assert np.array_equal(cached.rows, computed.rows)
+    assert cached.meta == computed.meta
+    assert cached.meta["config_fingerprint"] == config.fingerprint()
+
+
+def test_harness_parallel_map_bit_identical_to_serial(tmp_path):
+    serial = BenchSession(tiny_config(tmp_path / "s")).two_predicate_map()
+    parallel = BenchSession(
+        tiny_config(tmp_path / "p", n_workers=2)
+    ).two_predicate_map()
+    assert parallel.plan_ids == serial.plan_ids
+    assert np.array_equal(parallel.times, serial.times, equal_nan=True)
+    assert np.array_equal(parallel.aborted, serial.aborted)
+    assert np.array_equal(parallel.rows, serial.rows)
+    assert parallel.meta == serial.meta
+
+
+def test_corrupt_fingerprint_triggers_recompute(tmp_path):
+    config = tiny_config(tmp_path)
+    computed = BenchSession(config).single_predicate_map()
+    path = config.cache_path("single_predicate")
+    assert path is not None and path.exists()
+    # Tamper: pretend the file came from a different config.
+    stale = MapData.load(path)
+    stale.meta["config_fingerprint"] = "0" * 16
+    stale.save(path)
+    recomputed = BenchSession(config).single_predicate_map()
+    assert recomputed.meta["config_fingerprint"] == config.fingerprint()
+    assert np.array_equal(recomputed.times, computed.times, equal_nan=True)

@@ -1,0 +1,164 @@
+"""Parallel sweep engine: chunking, merging, serial/parallel identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapdata import MapData
+from repro.core.parallel import ParallelSweep, PlanIdFilter, partition_cells
+from repro.core.parameter_space import Space1D, Space2D
+from repro.core.runner import Jitter, RobustnessSweep
+from repro.errors import ExperimentError
+from repro.systems import SystemA, SystemConfig
+from repro.workloads import LineitemConfig
+
+CONFIG = SystemConfig(lineitem=LineitemConfig(n_rows=2048), pool_pages=64)
+JITTER = Jitter(rel=0.02, abs=0.0005, seed=7)
+
+
+def build_system_a():
+    """Module-level factory: picklable for worker processes."""
+    return [SystemA(CONFIG)]
+
+
+@pytest.fixture(scope="module")
+def system_a():
+    return SystemA(CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# chunk partitioning
+# ---------------------------------------------------------------------------
+
+
+def test_partition_cells_covers_grid_disjointly():
+    chunks = partition_cells(13, 4)
+    flat = [c for chunk in chunks for c in chunk]
+    assert sorted(flat) == list(range(13))
+    assert len(chunks) == 4
+    sizes = [len(chunk) for chunk in chunks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_cells_clamps_chunk_count():
+    assert partition_cells(3, 10) == [[0], [1], [2]]
+    assert partition_cells(5, 1) == [[0, 1, 2, 3, 4]]
+    with pytest.raises(ExperimentError):
+        partition_cells(0, 2)
+
+
+def test_plan_id_filter_is_picklable():
+    import pickle
+
+    keep = PlanIdFilter(["A.table_scan"])
+    restored = pickle.loads(pickle.dumps(keep))
+    assert restored("A.table_scan")
+    assert not restored("A.merge_ab")
+
+
+# ---------------------------------------------------------------------------
+# partial sweeps + merge round out to the full map
+# ---------------------------------------------------------------------------
+
+
+def test_partial_sweeps_merge_to_full_1d(system_a):
+    space = Space1D.log2("sel", -4, 0)
+    sweep = RobustnessSweep([system_a], jitter=JITTER)
+    full = sweep.sweep_single_predicate(space)
+    part_a = sweep.sweep_single_predicate(space, cells=[0, 2, 4])
+    part_b = sweep.sweep_single_predicate(space, cells=[1, 3])
+    assert part_a.is_partial and part_b.is_partial
+    assert part_a.filled_cells.tolist() == [0, 2, 4]
+    merged = MapData.merge([part_a, part_b])
+    assert not merged.is_partial
+    assert merged.plan_ids == full.plan_ids
+    assert np.array_equal(merged.times, full.times, equal_nan=True)
+    assert np.array_equal(merged.aborted, full.aborted)
+    assert np.array_equal(merged.rows, full.rows)
+    assert merged.meta == full.meta
+
+
+def test_partial_sweep_validates_cells(system_a):
+    space = Space1D.log2("sel", -2, 0)
+    sweep = RobustnessSweep([system_a])
+    with pytest.raises(ExperimentError):
+        sweep.sweep_single_predicate(space, cells=[0, 7])
+    with pytest.raises(ExperimentError):
+        sweep.sweep_single_predicate(space, cells=[1, 1])
+
+
+# ---------------------------------------------------------------------------
+# parallel vs serial: bit-identical maps
+# ---------------------------------------------------------------------------
+
+
+def assert_identical(parallel: MapData, serial: MapData) -> None:
+    assert parallel.plan_ids == serial.plan_ids
+    assert np.array_equal(parallel.times, serial.times, equal_nan=True)
+    assert np.array_equal(parallel.aborted, serial.aborted)
+    assert np.array_equal(parallel.rows, serial.rows)
+    assert np.array_equal(parallel.x_targets, serial.x_targets)
+    assert np.array_equal(parallel.x_achieved, serial.x_achieved)
+    assert parallel.meta == serial.meta
+
+
+def test_parallel_2d_bit_identical_to_serial(system_a):
+    space = Space2D.log2("a", "b", -3, 0)
+    serial = RobustnessSweep(
+        [system_a], jitter=JITTER
+    ).sweep_two_predicate(space)
+    engine = ParallelSweep(
+        build_system_a, jitter=JITTER, n_workers=2, chunk_cells=5
+    )
+    parallel = engine.sweep_two_predicate(space)
+    assert_identical(parallel, serial)
+    assert np.array_equal(parallel.y_targets, serial.y_targets)
+    assert np.array_equal(parallel.y_achieved, serial.y_achieved)
+
+
+def test_parallel_1d_bit_identical_to_serial(system_a):
+    space = Space1D.log2("sel", -4, 0)
+    serial = RobustnessSweep([system_a]).sweep_single_predicate(space)
+    engine = ParallelSweep(build_system_a, n_workers=2)
+    parallel = engine.sweep_single_predicate(space)
+    assert_identical(parallel, serial)
+
+
+def test_parallel_serial_fallback_matches(system_a):
+    space = Space1D.log2("sel", -3, 0)
+    serial = RobustnessSweep([system_a]).sweep_single_predicate(space)
+    engine = ParallelSweep(build_system_a, n_workers=0)
+    fallback = engine.sweep_single_predicate(space)
+    assert_identical(fallback, serial)
+
+
+def test_parallel_respects_plan_filter(system_a):
+    space = Space1D.log2("sel", -2, 0)
+    keep = PlanIdFilter(["A.table_scan"])
+    engine = ParallelSweep(build_system_a, n_workers=2)
+    mapdata = engine.sweep_single_predicate(space, plan_filter=keep)
+    assert mapdata.plan_ids == ["A.table_scan"]
+
+
+def test_parallel_reports_chunk_progress():
+    space = Space1D.log2("sel", -3, 0)
+    messages = []
+    engine = ParallelSweep(
+        build_system_a, n_workers=2, chunk_cells=2, progress=messages.append
+    )
+    engine.sweep_single_predicate(space)
+    assert messages
+    assert all("eta" in message for message in messages)
+
+
+# ---------------------------------------------------------------------------
+# duplicate plan id detection (dict-collision bugfix)
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_plan_ids_raise(system_a):
+    twin = SystemA(CONFIG)  # same name -> identical qualified plan ids
+    sweep = RobustnessSweep([system_a, twin])
+    with pytest.raises(ExperimentError, match="duplicate plan ids"):
+        sweep.sweep_single_predicate(Space1D.log2("sel", -2, 0))
+    with pytest.raises(ExperimentError, match="duplicate plan ids"):
+        sweep.sweep_two_predicate(Space2D.log2("a", "b", -1, 0))

@@ -1,5 +1,10 @@
 """Integration tests for the sweep runner (small scale)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -81,6 +86,46 @@ def test_jitter_deterministic_and_small(system_a):
     assert np.allclose(m_jitter_1.times, m_jitter_2.times)
     assert not np.allclose(m_jitter_1.times, m_clean.times)
     assert np.allclose(m_jitter_1.times, m_clean.times, rtol=0.4)
+
+
+def _jitter_in_subprocess(hash_seed: str) -> list[float]:
+    """Jittered times computed in a fresh interpreter with a fixed hash seed."""
+    code = (
+        "from repro.core.runner import Jitter\n"
+        "jitter = Jitter(rel=0.05, abs=0.001, seed=17)\n"
+        "values = [jitter.apply(1.0, 'A.merge_ab', (i, i + 1)) for i in range(8)]\n"
+        "print(repr(values))\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return eval(out.stdout)  # list of floats printed with repr
+
+
+def test_jitter_identical_across_hash_seeds():
+    """Regression: builtin hash() made jitter vary with PYTHONHASHSEED."""
+    values_a = _jitter_in_subprocess("1")
+    values_b = _jitter_in_subprocess("31337")
+    assert values_a == values_b
+    # ... and the in-process values agree with the subprocess ones.
+    jitter = Jitter(rel=0.05, abs=0.001, seed=17)
+    local = [jitter.apply(1.0, "A.merge_ab", (i, i + 1)) for i in range(8)]
+    assert local == values_a
+
+
+def test_jitter_varies_with_seed_plan_and_cell():
+    jitter = Jitter(rel=0.05, abs=0.001, seed=17)
+    base = jitter.apply(1.0, "p", (0,))
+    assert jitter.apply(1.0, "p", (1,)) != base
+    assert jitter.apply(1.0, "q", (0,)) != base
+    assert Jitter(rel=0.05, abs=0.001, seed=18).apply(1.0, "p", (0,)) != base
 
 
 def test_jitter_never_negative():

@@ -108,12 +108,93 @@ def test_mapdata_subset():
 @pytest.mark.parametrize("two_d", [False, True])
 def test_mapdata_json_roundtrip(tmp_path, two_d):
     mapdata = make_map(two_d)
+    mapdata.meta = {"sweep": "test", "budget_seconds": 1.5, "cells": [0, 1]}
     path = tmp_path / "map.json"
     mapdata.save(path)
     loaded = MapData.load(path)
     assert loaded.plan_ids == mapdata.plan_ids
-    assert np.allclose(loaded.times, mapdata.times, equal_nan=True)
+    # NaN cells survive exactly (bit-for-bit, not just allclose).
+    assert np.array_equal(loaded.times, mapdata.times, equal_nan=True)
+    assert np.isnan(loaded.times).any()
     assert np.array_equal(loaded.aborted, mapdata.aborted)
     assert np.array_equal(loaded.rows, mapdata.rows)
+    assert loaded.rows.dtype == np.int64
+    assert loaded.meta == mapdata.meta
     if two_d:
         assert np.allclose(loaded.y_targets, mapdata.y_targets)
+    else:
+        assert loaded.y_targets is None and loaded.y_achieved is None
+
+
+def test_mapdata_roundtrip_int64_rows(tmp_path):
+    mapdata = make_map()
+    mapdata.rows = np.array([1, 2, 2**40], dtype=np.int64)
+    path = tmp_path / "map.json"
+    mapdata.save(path)
+    loaded = MapData.load(path)
+    assert loaded.rows[2] == 2**40
+    assert loaded.rows.dtype == np.int64
+
+
+# ---------------------------------------------------------------------------
+# merging partial maps
+# ---------------------------------------------------------------------------
+
+
+def split_map(mapdata, cells_a, cells_b):
+    """Simulate two partial sweeps of one grid."""
+    import copy
+
+    def restrict(cells):
+        part = copy.deepcopy(mapdata)
+        shape = part.grid_shape
+        keep = np.zeros(int(np.prod(shape)), dtype=bool)
+        keep[list(cells)] = True
+        mask = keep.reshape(shape)
+        part.times[:, ~mask] = np.nan
+        part.aborted[:, ~mask] = False
+        part.rows = np.where(mask, part.rows, 0)
+        part.meta = dict(part.meta, cells=sorted(cells))
+        return part
+
+    return restrict(cells_a), restrict(cells_b)
+
+
+@pytest.mark.parametrize("two_d", [False, True])
+def test_mapdata_merge_recovers_full_map(two_d):
+    mapdata = make_map(two_d)
+    n_cells = int(np.prod(mapdata.grid_shape))
+    evens = [c for c in range(n_cells) if c % 2 == 0]
+    odds = [c for c in range(n_cells) if c % 2 == 1]
+    part_a, part_b = split_map(mapdata, evens, odds)
+    merged = MapData.merge([part_b, part_a])
+    assert np.array_equal(merged.times, mapdata.times, equal_nan=True)
+    assert np.array_equal(merged.aborted, mapdata.aborted)
+    assert np.array_equal(merged.rows, mapdata.rows)
+    assert "cells" not in merged.meta
+
+
+def test_mapdata_merge_partial_union_stays_partial():
+    mapdata = make_map()
+    part_a, part_b = split_map(mapdata, [0], [2])
+    merged = MapData.merge([part_a, part_b])
+    assert merged.is_partial
+    assert merged.filled_cells.tolist() == [0, 2]
+    assert merged.rows[1] == 0
+
+
+def test_mapdata_merge_rejects_overlap_and_mismatch():
+    mapdata = make_map()
+    part_a, part_b = split_map(mapdata, [0, 1], [1, 2])
+    with pytest.raises(ExperimentError, match="overlap"):
+        MapData.merge([part_a, part_b])
+    full = make_map()
+    with pytest.raises(ExperimentError, match="partial"):
+        MapData.merge([full])
+    with pytest.raises(ExperimentError):
+        MapData.merge([])
+    other = make_map()
+    other.plan_ids = ["p1", "other"]
+    part_c, _ = split_map(other, [0], [1])
+    with pytest.raises(ExperimentError, match="plan ids"):
+        MapData.merge([part_a, part_c])
