@@ -5,9 +5,15 @@ to disk if the input size exceeds the memory size by merely a single
 record.  Those sort implementations lacking graceful degradation will
 show discontinuous execution costs."
 
-This example draws exactly that map for the two spill policies in
-:mod:`repro.executor.sort`, plus a 2-D (input size x memory) map for hash
-aggregation, and runs the discontinuity detector on the curves.
+Both §4 dimensions now run through the engine proper — no hand-rolled
+measurement loops:
+
+* :class:`SortSpillScenario` sweeps input rows x memory budget with the
+  two spill policies as forced "plans", and the discontinuity detector
+  confirms the all-or-nothing cliff on the fixed-memory slice.
+* :class:`MemorySweepScenario` sweeps selectivity x per-cell workspace
+  memory over System A's single-predicate plans, showing which plans
+  degrade gracefully when their hash/sort workspaces shrink.
 
 Run:  python examples/memory_robustness.py
 """
@@ -16,51 +22,49 @@ import os
 
 import numpy as np
 
-from repro import DeviceProfile, StorageEnv
+from repro import MemorySweepScenario, SortSpillScenario, Space1D, SystemA, SystemConfig
 from repro.core.landmarks import discontinuities
-from repro.executor import ExecContext, ExternalSort, HashAggregate, SpillPolicy
+from repro.core.scenario import OperatorBench
 from repro.viz import ABSOLUTE_TIME_SCALE, curve_ascii, heatmap_ascii
 from repro.viz.svg import curves_svg
+from repro.workloads import LineitemConfig
 
 ROW_BYTES = 128
 MEMORY_BYTES = int(os.environ.get("REPRO_EXAMPLE_SORT_MEMORY", 2 << 20))
-
-
-def sort_cost(env: StorageEnv, n_rows: int, policy: SpillPolicy) -> float:
-    rng = np.random.default_rng(n_rows)
-    values = rng.integers(0, 1 << 30, n_rows)
-    env.cold_reset()
-    ctx = ExecContext(env, memory_bytes=MEMORY_BYTES)
-    start = env.clock.now
-    ExternalSort(ctx, row_bytes=ROW_BYTES, policy=policy).sort(values)
-    return env.clock.now - start
+TABLE_ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", 8192))
+MIN_EXP = int(os.environ.get("REPRO_EXAMPLE_MIN_EXP", -6))
 
 
 def main() -> None:
-    env = StorageEnv(DeviceProfile())
     memory_rows = MEMORY_BYTES // ROW_BYTES
 
-    # --- 1-D: sort cost vs input size around the memory boundary ---------
+    # --- sort cost vs (input size x memory) around the memory boundary ---
     fractions = np.asarray([0.6, 0.75, 0.9, 0.97, 1.0, 1.03, 1.1, 1.25, 1.5, 2.0])
-    sizes = (fractions * memory_rows).astype(int)
+    sizes = sorted({int(f * memory_rows) for f in fractions})
+    memories = [MEMORY_BYTES // 2, MEMORY_BYTES, MEMORY_BYTES * 2]
+    scenario = SortSpillScenario(
+        OperatorBench(), sizes, memories, row_bytes=ROW_BYTES
+    )
+    mapdata = scenario.run()
+    print(f"sort workspace axis: {[m >> 20 for m in memories]} MiB")
+
+    # Fixed-memory slice (the paper's 1-D picture of the cliff).
+    mem_index = memories.index(MEMORY_BYTES)
+    xs = mapdata.axis("input_rows").targets
     curves = {
-        "all-or-nothing": np.asarray(
-            [sort_cost(env, n, SpillPolicy.ALL_OR_NOTHING) for n in sizes]
-        ),
-        "graceful": np.asarray(
-            [sort_cost(env, n, SpillPolicy.GRACEFUL) for n in sizes]
-        ),
+        plan_id: mapdata.times_for(plan_id)[:, mem_index]
+        for plan_id in mapdata.plan_ids
     }
-    print(f"sort workspace: {MEMORY_BYTES >> 20} MiB = {memory_rows} rows\n")
-    print(curve_ascii(sizes.astype(float), curves))
+    print(f"\nslice at {MEMORY_BYTES >> 20} MiB = {memory_rows} rows:\n")
+    print(curve_ascii(xs, curves))
     for label, ys in curves.items():
-        jumps = discontinuities(sizes.astype(float), ys, jump_factor=1.5)
+        jumps = discontinuities(xs, ys, jump_factor=1.5)
         verdict = "; ".join(str(j) for j in jumps) if jumps else "smooth"
-        print(f"  {label:16s}: {verdict}")
+        print(f"  {label:22s}: {verdict}")
     with open("sort_spill_map.svg", "w") as f:
         f.write(
             curves_svg(
-                sizes.astype(float),
+                xs,
                 curves,
                 title="Sort robustness: input size vs fixed memory",
                 x_label="input rows",
@@ -68,25 +72,29 @@ def main() -> None:
         )
     print("wrote sort_spill_map.svg")
 
-    # --- 2-D: hash aggregation over (groups x memory) --------------------
-    group_counts = [2**e for e in range(6, 15, 2)]
-    memories = [2**e for e in range(12, 21, 2)]
-    grid = np.zeros((len(group_counts), len(memories)))
-    rng = np.random.default_rng(0)
-    keys_pool = rng.integers(0, 1 << 30, 50_000)
-    for gi, n_groups in enumerate(group_counts):
-        keys = keys_pool % n_groups
-        for mi, memory in enumerate(memories):
-            env.cold_reset()
-            ctx = ExecContext(env, memory_bytes=memory)
-            start = env.clock.now
-            HashAggregate(ctx).groupby_count(keys)
-            grid[gi, mi] = env.clock.now - start
-    print("\nhash aggregation cost map (rows: groups up; cols: memory right):")
-    print(heatmap_ascii(grid, ABSOLUTE_TIME_SCALE))
-    print("x axis: memory", memories, "  y axis: groups", group_counts)
-    spilling = grid[:, 0].max() / grid[:, -1].max()
-    print(f"\nmemory starvation cost factor at max groups: {spilling:.1f}x")
+    # Full 2-D map for the non-graceful policy: the cliff moves with memory.
+    print("\nall-or-nothing cost map (rows: input up; cols: memory right):")
+    print(
+        heatmap_ascii(
+            mapdata.times_for("sort.all-or-nothing"), ABSOLUTE_TIME_SCALE
+        )
+    )
+
+    # --- selectivity x memory over System A's single-predicate plans -----
+    system = SystemA(SystemConfig(lineitem=LineitemConfig(n_rows=TABLE_ROWS)))
+    memory_axis = [4 << 10, 64 << 10, 1 << 20]
+    sweep_map = MemorySweepScenario(
+        [system], Space1D.log2("selectivity", MIN_EXP, 0), memory_axis
+    ).run()
+    print(
+        f"\nmemory sweep: {TABLE_ROWS} rows, "
+        f"memory axis {[m >> 10 for m in memory_axis]} KiB"
+    )
+    starved, roomy = sweep_map.times[:, :, 0], sweep_map.times[:, :, -1]
+    for p, plan_id in enumerate(sweep_map.plan_ids):
+        factor = np.nanmax(starved[p] / roomy[p])
+        verdict = "memory-sensitive" if factor > 1.01 else "flat"
+        print(f"  {plan_id:24s} starvation cost factor {factor:6.2f}x  {verdict}")
 
 
 if __name__ == "__main__":

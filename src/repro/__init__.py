@@ -53,9 +53,18 @@ from repro.systems import (
     build_three_systems,
 )
 from repro.core import (
+    Axis,
     Space1D,
     Space2D,
+    MapAxis,
     MapData,
+    Scenario,
+    ScenarioSpec,
+    SinglePredicateScenario,
+    TwoPredicateScenario,
+    SortSpillScenario,
+    MemorySweepScenario,
+    OperatorBench,
     RobustnessSweep,
     Jitter,
     ParallelSweep,
@@ -103,9 +112,18 @@ __all__ = [
     "SystemB",
     "SystemC",
     "build_three_systems",
+    "Axis",
     "Space1D",
     "Space2D",
+    "MapAxis",
     "MapData",
+    "Scenario",
+    "ScenarioSpec",
+    "SinglePredicateScenario",
+    "TwoPredicateScenario",
+    "SortSpillScenario",
+    "MemorySweepScenario",
+    "OperatorBench",
     "RobustnessSweep",
     "Jitter",
     "ParallelSweep",

@@ -1,15 +1,18 @@
-"""``repro-figures``: regenerate every paper figure into a directory.
+"""``repro-figures``: regenerate paper figures or scenario maps.
 
 Usage::
 
     repro-figures [output_dir] [--figures fig01,fig07] [--rows 65536]
                   [--workers 4] [--progress]
+    repro-figures [output_dir] --scenario sort_spill,memory_sweep
 
-Writes SVG/PNG artifacts, prints the paper-vs-measured claim tables, and
-exits non-zero if any claim fails (usable as a CI robustness gate).
-``--workers`` fans the sweeps out over worker processes (bit-identical
-to the serial default); ``--progress`` streams per-cell/per-chunk status
-with an ETA to stderr.
+Figure mode writes SVG/PNG artifacts, prints the paper-vs-measured claim
+tables, and exits non-zero if any claim fails (usable as a CI robustness
+gate).  Scenario mode sweeps the named registered scenarios (see
+``BenchSession.SCENARIO_MAPS``) and writes each measured ``MapData`` as
+``scenario_<name>.json`` plus a text summary.  ``--workers`` fans the
+sweeps out over worker processes (bit-identical to the serial default);
+``--progress`` streams per-cell/per-chunk status with an ETA to stderr.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ import os
 import sys
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import BenchConfig, BenchSession
@@ -49,6 +54,43 @@ class _ProgressPrinter:
         print(f"  {message}", file=sys.stderr, flush=True)
 
 
+def _run_scenarios(
+    session: BenchSession, names: list[str], out_dir: Path
+) -> int:
+    """Sweep each named scenario, write its MapData, print a summary."""
+    names = [n.replace("-", "_") for n in names]
+    unknown = [n for n in names if n not in session.SCENARIO_MAPS]
+    if unknown:
+        print(
+            f"unknown scenarios: {unknown}; "
+            f"available: {sorted(session.SCENARIO_MAPS)}",
+            file=sys.stderr,
+        )
+        return 2
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        mapdata = session.scenario_map(name)
+        path = out_dir / f"scenario_{name}.json"
+        mapdata.save(path)
+        axes = " x ".join(
+            f"{axis.name}[{axis.n_points}]" for axis in mapdata.axes or []
+        )
+        print(f"scenario {name}: grid {axes}, {mapdata.n_plans} plans")
+        for plan_id in mapdata.plan_ids:
+            times = mapdata.times_for(plan_id)
+            censored = int(np.isnan(times).sum())
+            finite = times[~np.isnan(times)]
+            span = (
+                f"{finite.min():.4f}s .. {finite.max():.4f}s"
+                if finite.size
+                else "fully censored"
+            )
+            note = f" ({censored} censored)" if censored else ""
+            print(f"  {plan_id:28s} {span}{note}")
+        print(f"  wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?", default="figures", help="output directory")
@@ -72,6 +114,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="stream sweep progress with ETA to stderr",
     )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="comma-separated scenario names (runs scenario sweeps "
+        "instead of figures; see BenchSession.SCENARIO_MAPS)",
+    )
     args = parser.parse_args(argv)
 
     if args.rows is not None:
@@ -80,6 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_BENCH_WORKERS"] = str(args.workers)
     progress = _ProgressPrinter() if args.progress else None
     session = BenchSession(BenchConfig(), progress=progress)
+    if args.scenario is not None:
+        names = [name.strip() for name in args.scenario.split(",") if name.strip()]
+        return _run_scenarios(session, names, Path(args.output))
     wanted = list(ALL_FIGURES) if args.figures == "all" else args.figures.split(",")
     unknown = [figure for figure in wanted if figure not in ALL_FIGURES]
     if unknown:

@@ -29,6 +29,13 @@ from repro.core.mapdata import MapData
 from repro.core.parallel import ParallelSweep
 from repro.core.parameter_space import Space1D, Space2D
 from repro.core.runner import Jitter, RobustnessSweep
+from repro.core.scenario import (
+    MemorySweepScenario,
+    OperatorBench,
+    SortSpillScenario,
+    operator_bench_factory,
+)
+from repro.errors import ExperimentError
 from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
 from repro.workloads import LineitemConfig
 
@@ -51,6 +58,18 @@ class BenchConfig:
 
     memory_bytes: int = 4 << 20
     """Workspace memory per plan (bounded, so large builds spill)."""
+
+    sort_rows: tuple = (2048, 4096, 8192, 16384, 24576, 32768)
+    """Input-size axis of the sort-spill scenario (rows)."""
+
+    sort_memory: tuple = (256 << 10, 512 << 10, 1 << 20, 2 << 20)
+    """Memory axis of the sort-spill scenario (bytes per cell)."""
+
+    sort_row_bytes: int = 128
+    """Row width assumed by the sort-spill scenario."""
+
+    memory_axis: tuple = (16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20)
+    """Per-cell workspace budgets of the memory-sweep scenario (bytes)."""
 
     n_workers: int = field(
         default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
@@ -163,6 +182,10 @@ class BenchSession:
         """Expected grid shape for a cached map (stale-file detection)."""
         if key.startswith("single_predicate"):
             return (1 - self.config.min_exp_1d,)
+        if key == "scenario_sort_spill":
+            return (len(self.config.sort_rows), len(self.config.sort_memory))
+        if key == "scenario_memory_sweep":
+            return (1 - self.config.min_exp_2d, len(self.config.memory_axis))
         n = 1 - self.config.min_exp_2d
         return (n, n)
 
@@ -253,6 +276,86 @@ class BenchSession:
 
         key = "two_predicate" + ("" if jitter else "_nojitter")
         return self._cached(key, compute)
+
+    # ------------------------------------------------------------------
+    # scenario registry (the §4 dimensions + the two canonical sweeps)
+    # ------------------------------------------------------------------
+
+    def sort_spill_map(self) -> MapData:
+        """Input rows x memory for the two sort spill policies (§4)."""
+
+        def compute() -> MapData:
+            config = self.config
+            scenario = SortSpillScenario(
+                OperatorBench(),
+                config.sort_rows,
+                config.sort_memory,
+                row_bytes=config.sort_row_bytes,
+                seed=config.seed,
+            )
+            # Budget yardstick intrinsic to the scenario (no systems
+            # needed): budget_scale x the largest fully-in-memory sort.
+            budget = config.budget_scale * scenario.baseline_seconds()
+            if self._wants_parallel():
+                engine = ParallelSweep(
+                    operator_bench_factory,
+                    budget_seconds=budget,
+                    n_workers=config.n_workers,
+                    progress=self.progress,
+                )
+                return engine.sweep(scenario.spec())
+            return scenario.run(
+                budget_seconds=budget,
+                progress=self.progress or (lambda message: None),
+            )
+
+        return self._cached("scenario_sort_spill", compute)
+
+    def memory_sweep_map(self) -> MapData:
+        """Selectivity x per-cell memory budget over System A's plans."""
+
+        def compute() -> MapData:
+            config = self.config
+            space = Space1D.log2("selectivity", config.min_exp_2d, 0)
+            if self._wants_parallel():
+                from functools import partial
+
+                engine = self._sweep_engine(partial(_session_system_a, config))
+                spec = MemorySweepScenario.build_spec(space, config.memory_axis)
+                return engine.sweep(spec)
+            scenario = MemorySweepScenario(
+                [self.system_a], space, config.memory_axis
+            )
+            return scenario.run(
+                budget_seconds=self.budget(),
+                memory_bytes=config.memory_bytes,
+                progress=self.progress or (lambda message: None),
+            )
+
+        return self._cached("scenario_memory_sweep", compute)
+
+    #: CLI-facing scenario names -> bound map methods.
+    SCENARIO_MAPS = {
+        "single_predicate": "single_predicate_map",
+        "two_predicate": "two_predicate_map",
+        "sort_spill": "sort_spill_map",
+        "memory_sweep": "memory_sweep_map",
+    }
+
+    def scenario_map(self, name: str) -> MapData:
+        """Compute (or load from cache) a bundled scenario's map.
+
+        Accepts both the CLI spelling (``sort_spill``) and the scenario
+        registry spelling (``sort-spill``).
+        """
+        try:
+            method = self.SCENARIO_MAPS[name.replace("-", "_")]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown scenario {name!r}; "
+                f"available: {sorted(self.SCENARIO_MAPS)}"
+            ) from None
+        return getattr(self, method)()
 
     def system_a_plan_ids(self) -> list[str]:
         """The 7 System A plan ids of the two-predicate query (Fig 7)."""

@@ -3,9 +3,11 @@
 This package turns *measured* plan costs into the paper's four diagram
 families and the quantitative machinery around them:
 
-* :mod:`parameter_space` — 1-D / 2-D log-spaced selectivity grids.
-* :mod:`mapdata` — the measured cost cube (plan x grid), serializable.
-* :mod:`runner` — sweeps forced plans over grids under cold caches.
+* :mod:`parameter_space` — log-spaced grids and swept :class:`Axis` labels.
+* :mod:`mapdata` — the measured cost cube (plan x N-D grid), serializable.
+* :mod:`scenario` — pluggable sweep scenarios (selectivity, memory,
+  data size, ...) behind one Scenario abstraction + registry.
+* :mod:`runner` — sweeps any scenario's forced plans under cold caches.
 * :mod:`parallel` — chunked multi-process sweeps, bit-identical to serial.
 * :mod:`maps` — absolute maps and performance relative to the best plan.
 * :mod:`optimality` — tolerance-based optimal-plan sets and the size,
@@ -17,8 +19,22 @@ families and the quantitative machinery around them:
 * :mod:`regression` — map-vs-map comparison for regression testing.
 """
 
-from repro.core.parameter_space import Space1D, Space2D, log2_targets
-from repro.core.mapdata import MapData
+from repro.core.parameter_space import Axis, Space1D, Space2D, log2_targets
+from repro.core.mapdata import MapAxis, MapData
+from repro.core.scenario import (
+    Cell,
+    MemorySweepScenario,
+    OperatorBench,
+    Scenario,
+    ScenarioSpec,
+    SinglePredicateScenario,
+    SortSpillScenario,
+    TwoPredicateScenario,
+    build_scenario,
+    operator_bench_factory,
+    register_scenario,
+    SCENARIO_TYPES,
+)
 from repro.core.runner import RobustnessSweep, Jitter
 from repro.core.parallel import ParallelSweep, PlanIdFilter, partition_cells
 from repro.core.maps import best_times, relative_to_best, quotient_for
@@ -41,10 +57,24 @@ from repro.core.metrics import RobustnessProfile, profile_plan, summarize_plans
 from repro.core.regression import RegressionReport, compare_maps
 
 __all__ = [
+    "Axis",
     "Space1D",
     "Space2D",
     "log2_targets",
+    "MapAxis",
     "MapData",
+    "Cell",
+    "Scenario",
+    "ScenarioSpec",
+    "SinglePredicateScenario",
+    "TwoPredicateScenario",
+    "SortSpillScenario",
+    "MemorySweepScenario",
+    "OperatorBench",
+    "operator_bench_factory",
+    "build_scenario",
+    "register_scenario",
+    "SCENARIO_TYPES",
     "RobustnessSweep",
     "Jitter",
     "ParallelSweep",

@@ -2,9 +2,15 @@
 
 A :class:`MapData` holds, for each (plan, grid cell): the measured virtual
 seconds, whether the measurement was censored by the cost budget, and per
-cell the query's true result size and achieved selectivities.  It is the
+cell the query's true result size and achieved axis values.  It is the
 single exchange format between the sweep runner, the analysis modules,
 the renderers, and the benches (JSON round-trip for caching).
+
+Grids may span any number of axes.  The ordered :class:`MapAxis` list is
+the authoritative description; the legacy ``x_targets`` / ``x_achieved``
+/ ``y_targets`` / ``y_achieved`` fields remain as views onto the first
+two axes so the 1-D/2-D renderers and analysis modules keep working
+unchanged.
 
 A MapData may be *partial*: ``meta["cells"]`` lists the flat grid indices
 that were actually measured.  Partial maps come out of chunked parallel
@@ -46,25 +52,92 @@ def _decode_nan(obj) -> np.ndarray | None:
     return np.asarray(walk(obj), dtype=float)
 
 
+@dataclass(frozen=True)
+class MapAxis:
+    """One grid axis of a measured map: label, targets, achieved values.
+
+    ``achieved`` is what the sweep actually hit (e.g. the achieved
+    selectivity of the constructed predicate); ``None`` means the targets
+    were hit exactly (memory budgets, input sizes, ...).
+    """
+
+    name: str
+    targets: np.ndarray
+    achieved: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "targets", np.asarray(self.targets, dtype=float)
+        )
+        if self.achieved is not None:
+            achieved = np.asarray(self.achieved, dtype=float)
+            if achieved.shape != self.targets.shape:
+                raise ExperimentError(
+                    f"axis {self.name!r}: achieved shape {achieved.shape} "
+                    f"differs from targets shape {self.targets.shape}"
+                )
+            object.__setattr__(self, "achieved", achieved)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.targets.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Achieved values when known, targets otherwise."""
+        return self.achieved if self.achieved is not None else self.targets
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "targets": _encode_nan(self.targets),
+            "achieved": _encode_nan(self.achieved),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MapAxis":
+        return cls(
+            name=str(data["name"]),
+            targets=_decode_nan(data["targets"]),
+            achieved=_decode_nan(data.get("achieved")),
+        )
+
+    def matches(self, other: "MapAxis") -> bool:
+        def same(a, b) -> bool:
+            if a is None or b is None:
+                return a is None and b is None
+            return np.array_equal(np.asarray(a), np.asarray(b))
+
+        return (
+            self.name == other.name
+            and same(self.targets, other.targets)
+            and same(self.achieved, other.achieved)
+        )
+
+
 @dataclass
 class MapData:
-    """Measured costs for P plans over a 1-D or 2-D grid."""
+    """Measured costs for P plans over an N-D grid (typically 1-D/2-D)."""
 
     plan_ids: list[str]
     times: np.ndarray
-    """Seconds, shape (P, nx) or (P, nx, ny); NaN where censored."""
+    """Seconds, shape (P, *grid); NaN where censored."""
 
     aborted: np.ndarray
     """Bool, same shape as times: True where the budget censored the run."""
 
     rows: np.ndarray
-    """True result size per cell, shape (nx,) or (nx, ny)."""
+    """True result size per cell, shape (*grid,)."""
 
-    x_targets: np.ndarray
-    x_achieved: np.ndarray
+    x_targets: np.ndarray | None = None
+    x_achieved: np.ndarray | None = None
     y_targets: np.ndarray | None = None
     y_achieved: np.ndarray | None = None
     meta: dict = field(default_factory=dict)
+    axes: list[MapAxis] | None = None
+    """Ordered axis descriptions; authoritative when provided.  When
+    constructed the legacy way (``x_*``/``y_*`` arrays only), axes are
+    synthesized with the placeholder names ``"x"`` and ``"y"``."""
 
     def __post_init__(self) -> None:
         self.times = np.asarray(self.times, dtype=float)
@@ -78,6 +151,42 @@ class MapData:
             )
         if self.times.shape[1:] != np.asarray(self.rows).shape:
             raise ExperimentError("rows shape does not match grid shape")
+        if self.axes is None:
+            self.axes = self._axes_from_legacy_fields()
+        else:
+            self.axes = list(self.axes)
+        if len(self.axes) != self.times.ndim - 1:
+            raise ExperimentError(
+                f"{len(self.axes)} axes for a "
+                f"{self.times.ndim - 1}-D grid"
+            )
+        for dim, axis in enumerate(self.axes):
+            if axis.n_points != self.times.shape[1 + dim]:
+                raise ExperimentError(
+                    f"axis {axis.name!r} has {axis.n_points} points but "
+                    f"grid dimension {dim} has {self.times.shape[1 + dim]}"
+                )
+        # Legacy views onto the first two axes (renderers, analysis).
+        self.x_targets = self.axes[0].targets
+        self.x_achieved = self.axes[0].values
+        if len(self.axes) >= 2:
+            self.y_targets = self.axes[1].targets
+            self.y_achieved = self.axes[1].values
+        else:
+            self.y_targets = None
+            self.y_achieved = None
+
+    def _axes_from_legacy_fields(self) -> list[MapAxis]:
+        if self.x_targets is None:
+            raise ExperimentError("MapData needs either axes or x_targets")
+        axes = [MapAxis("x", self.x_targets, self.x_achieved)]
+        if self.times.ndim >= 3:
+            if self.y_targets is None:
+                raise ExperimentError(
+                    "2-D MapData needs either axes or y_targets"
+                )
+            axes.append(MapAxis("y", self.y_targets, self.y_achieved))
+        return axes
 
     # ------------------------------------------------------------------
 
@@ -86,8 +195,20 @@ class MapData:
         return self.times.ndim == 3
 
     @property
+    def n_axes(self) -> int:
+        return self.times.ndim - 1
+
+    @property
     def grid_shape(self) -> tuple[int, ...]:
         return self.times.shape[1:]
+
+    def axis(self, name: str) -> MapAxis:
+        for ax in self.axes or []:
+            if ax.name == name:
+                return ax
+        raise ExperimentError(
+            f"unknown axis {name!r}; have {[a.name for a in self.axes or []]}"
+        )
 
     @property
     def n_plans(self) -> int:
@@ -113,11 +234,8 @@ class MapData:
             times=self.times[idx].copy(),
             aborted=self.aborted[idx].copy(),
             rows=self.rows,
-            x_targets=self.x_targets,
-            x_achieved=self.x_achieved,
-            y_targets=self.y_targets,
-            y_achieved=self.y_achieved,
             meta=dict(self.meta),
+            axes=list(self.axes or []),
         )
 
     # ------------------------------------------------------------------
@@ -157,11 +275,6 @@ class MapData:
         rows = np.zeros_like(np.asarray(first.rows))
         seen: set[int] = set()
 
-        def same_axis(a, b) -> bool:
-            if a is None or b is None:
-                return a is None and b is None
-            return np.array_equal(np.asarray(a), np.asarray(b))
-
         for part in parts:
             if "cells" not in part.meta:
                 raise ExperimentError(
@@ -177,14 +290,11 @@ class MapData:
                     f"grid shapes differ across parts: {part.grid_shape} "
                     f"vs {shape}"
                 )
-            for ours, theirs in (
-                (first.x_targets, part.x_targets),
-                (first.x_achieved, part.x_achieved),
-                (first.y_targets, part.y_targets),
-                (first.y_achieved, part.y_achieved),
+            if not all(
+                ours.matches(theirs)
+                for ours, theirs in zip(first.axes or [], part.axes or [])
             ):
-                if not same_axis(ours, theirs):
-                    raise ExperimentError("axis arrays differ across parts")
+                raise ExperimentError("axis arrays differ across parts")
             cells = [int(c) for c in part.meta["cells"]]
             overlap = seen.intersection(cells)
             if overlap:
@@ -207,11 +317,8 @@ class MapData:
             times=times,
             aborted=aborted,
             rows=rows,
-            x_targets=first.x_targets,
-            x_achieved=first.x_achieved,
-            y_targets=first.y_targets,
-            y_achieved=first.y_achieved,
             meta=meta,
+            axes=list(first.axes or []),
         )
 
     # ------------------------------------------------------------------
@@ -228,11 +335,13 @@ class MapData:
             "x_achieved": _encode_nan(self.x_achieved),
             "y_targets": _encode_nan(self.y_targets),
             "y_achieved": _encode_nan(self.y_achieved),
+            "axes": [axis.to_dict() for axis in self.axes or []],
             "meta": self.meta,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "MapData":
+        axes = data.get("axes") or None
         return cls(
             plan_ids=list(data["plan_ids"]),
             times=_decode_nan(data["times"]),
@@ -243,6 +352,11 @@ class MapData:
             y_targets=_decode_nan(data.get("y_targets")),
             y_achieved=_decode_nan(data.get("y_achieved")),
             meta=dict(data.get("meta", {})),
+            axes=(
+                [MapAxis.from_dict(axis) for axis in axes]
+                if axes is not None
+                else None
+            ),
         )
 
     def save(self, path: str | Path) -> None:

@@ -2,21 +2,24 @@
 
 Robustness maps are embarrassingly parallel: every cell is an independent
 cold-cache measurement on a private virtual clock.  This module partitions
-a :class:`Space1D`/:class:`Space2D` grid into chunks of flat cell indices,
-fans the chunks out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
-and merges the per-chunk partial :class:`MapData` results.
+a scenario's N-D grid into chunks of flat cell indices, fans the chunks
+out over a :class:`~concurrent.futures.ProcessPoolExecutor`, and merges
+the per-chunk partial :class:`MapData` results.
 
-Because each worker rebuilds the systems from the same deterministic
-factory and the jitter digest is process-independent, the merged map is
-**bit-identical** to the serial sweep — times, aborted flags, rows, and
-meta all match, regardless of worker count or chunk size.
+Workers dispatch on a picklable :class:`ScenarioSpec` — any registered
+scenario (selectivity sweeps, memory sweeps, sort-spill grids, ...)
+parallelizes through the same engine.  Because each worker rebuilds its
+providers from the same deterministic factory and the jitter digest is
+process-independent, the merged map is **bit-identical** to the serial
+sweep — times, aborted flags, rows, and meta all match, regardless of
+worker count or chunk size.
 
-Workers build their systems once (in the pool initializer) and amortize
+Workers build their providers once (in the pool initializer) and amortize
 that cost over every chunk they process.  ``n_workers <= 1`` falls back
 to a plain in-process :class:`RobustnessSweep`, so callers can thread a
 single knob through without branching.
 
-The systems ``factory`` and any ``plan_filter`` must be picklable (a
+The provider ``factory`` and any ``plan_filter`` must be picklable (a
 module-level function or :class:`functools.partial` — use
 :class:`PlanIdFilter` instead of a lambda) so the engine also works under
 the ``spawn`` start method.
@@ -33,10 +36,10 @@ from typing import Callable, Sequence
 from repro.core.mapdata import MapData
 from repro.core.parameter_space import Space1D, Space2D
 from repro.core.runner import Jitter, RobustnessSweep
+from repro.core.scenario import ScenarioSpec, build_scenario
 from repro.errors import ExperimentError
-from repro.systems.base import DatabaseSystem
 
-SystemFactory = Callable[[], Sequence[DatabaseSystem]]
+ProviderFactory = Callable[[], Sequence]
 
 
 @dataclass(frozen=True)
@@ -72,31 +75,38 @@ def partition_cells(n_cells: int, n_chunks: int) -> list[list[int]]:
 
 
 # ---------------------------------------------------------------------------
-# worker side: one sweep per process, built once, reused for every chunk
+# worker side: providers + sweep built once, scenarios rebuilt per spec
 # ---------------------------------------------------------------------------
 
 _WORKER_SWEEP: RobustnessSweep | None = None
+_WORKER_SCENARIO: tuple[ScenarioSpec, object] | None = None
 
 
-def _init_worker(factory: SystemFactory, sweep_kwargs: dict) -> None:
-    global _WORKER_SWEEP
+def _init_worker(factory: ProviderFactory, sweep_kwargs: dict) -> None:
+    global _WORKER_SWEEP, _WORKER_SCENARIO
     _WORKER_SWEEP = RobustnessSweep(list(factory()), **sweep_kwargs)
+    _WORKER_SCENARIO = None
 
 
-def _run_chunk(
-    kind: str,
-    space,
-    column: str | None,
-    plan_filter,
-    cells: list[int],
-) -> MapData:
+def _worker_scenario(spec: ScenarioSpec):
+    """Scenario instance for a spec, memoized per worker across chunks.
+
+    Rebuilding predicates and oracle masks per chunk would repeat work
+    the serial path does once.  A pool only ever runs one sweep (each
+    :meth:`ParallelSweep.sweep` call creates its own executor), so a
+    single slot suffices.
+    """
+    global _WORKER_SCENARIO
+    if _WORKER_SCENARIO is None or _WORKER_SCENARIO[0] != spec:
+        assert _WORKER_SWEEP is not None, "worker pool not initialized"
+        _WORKER_SCENARIO = (spec, build_scenario(spec, _WORKER_SWEEP.systems))
+    return _WORKER_SCENARIO[1]
+
+
+def _run_chunk(spec: ScenarioSpec, plan_filter, cells: list[int]) -> MapData:
     assert _WORKER_SWEEP is not None, "worker pool not initialized"
-    if kind == "single":
-        return _WORKER_SWEEP.sweep_single_predicate(
-            space, column=column, plan_filter=plan_filter, cells=cells
-        )
-    return _WORKER_SWEEP.sweep_two_predicate(
-        space, plan_filter=plan_filter, cells=cells
+    return _WORKER_SWEEP.sweep(
+        _worker_scenario(spec), plan_filter=plan_filter, cells=cells
     )
 
 
@@ -110,8 +120,8 @@ class ParallelSweep:
 
     Parameters mirror :class:`RobustnessSweep`, plus:
 
-    * ``factory`` — zero-argument picklable callable returning the systems
-      to sweep (each worker calls it once).
+    * ``factory`` — zero-argument picklable callable returning the plan
+      providers to sweep (each worker calls it once).
     * ``n_workers`` — process count; ``0``/``1`` runs serially in-process,
       ``-1`` uses ``os.cpu_count()``.
     * ``chunk_cells`` — cells per chunk; ``0`` auto-sizes to roughly four
@@ -122,7 +132,7 @@ class ParallelSweep:
 
     def __init__(
         self,
-        factory: SystemFactory,
+        factory: ProviderFactory,
         budget_seconds: float | None = None,
         memory_bytes: int | None = None,
         jitter: Jitter | None = None,
@@ -164,23 +174,28 @@ class ParallelSweep:
             n_chunks = workers * 4
         return partition_cells(n_cells, n_chunks)
 
-    def _run(
+    # ------------------------------------------------------------------
+    # the generic spec sweep
+    # ------------------------------------------------------------------
+
+    def sweep(
         self,
-        kind: str,
-        space,
-        n_cells: int,
-        column: str | None,
-        plan_filter,
+        spec: ScenarioSpec,
+        plan_filter: Callable[[str], bool] | None = None,
     ) -> MapData:
+        """Fan a scenario's grid out over workers; bit-identical to serial.
+
+        ``spec`` (see :meth:`Scenario.spec`) travels to the workers in
+        place of the scenario object itself, which may hold gigabytes of
+        table data; each worker rebuilds the scenario from its
+        factory-built providers.
+        """
+        n_cells = spec.n_cells
         workers = self.resolved_workers()
         if workers <= 1 or n_cells < 2:
-            if kind == "single":
-                return self._serial_sweep().sweep_single_predicate(
-                    space, column=column, plan_filter=plan_filter
-                )
-            return self._serial_sweep().sweep_two_predicate(
-                space, plan_filter=plan_filter
-            )
+            sweep = self._serial_sweep()
+            scenario = build_scenario(spec, sweep.systems)
+            return sweep.sweep(scenario, plan_filter=plan_filter)
 
         chunks = self._chunks(n_cells, workers)
         parts: list[MapData] = []
@@ -192,7 +207,7 @@ class ParallelSweep:
             initargs=(self.factory, self.sweep_kwargs),
         ) as pool:
             futures = {
-                pool.submit(_run_chunk, kind, space, column, plan_filter, chunk): chunk
+                pool.submit(_run_chunk, spec, plan_filter, chunk): chunk
                 for chunk in chunks
             }
             for future in as_completed(futures):
@@ -201,12 +216,14 @@ class ParallelSweep:
                 elapsed = time.monotonic() - start
                 eta = elapsed / done_cells * (n_cells - done_cells)
                 self.progress(
-                    f"{kind} sweep: {done_cells}/{n_cells} cells "
+                    f"{spec.name} sweep: {done_cells}/{n_cells} cells "
                     f"({len(parts)}/{len(chunks)} chunks, "
                     f"elapsed {elapsed:.1f}s, eta {eta:.1f}s)"
                 )
         return MapData.merge(parts)
 
+    # ------------------------------------------------------------------
+    # deprecated shims over the two canonical scenarios
     # ------------------------------------------------------------------
 
     def sweep_single_predicate(
@@ -215,13 +232,39 @@ class ParallelSweep:
         column: str | None = None,
         plan_filter: Callable[[str], bool] | None = None,
     ) -> MapData:
-        """Parallel 1-D sweep; bit-identical to the serial path."""
-        return self._run("single", space, space.n_points, column, plan_filter)
+        """Parallel 1-D sweep; bit-identical to the serial path.
+
+        .. deprecated::
+            Thin shim over ``sweep(ScenarioSpec("single-predicate", ...))``;
+            new code should build the spec (or scenario) directly.
+        """
+        spec = ScenarioSpec(
+            "single-predicate",
+            {
+                "axes": [[space.name, space.targets.tolist()]],
+                "column": column,
+            },
+        )
+        return self.sweep(spec, plan_filter=plan_filter)
 
     def sweep_two_predicate(
         self,
         space: Space2D,
         plan_filter: Callable[[str], bool] | None = None,
     ) -> MapData:
-        """Parallel 2-D sweep; bit-identical to the serial path."""
-        return self._run("two", space, space.n_cells, None, plan_filter)
+        """Parallel 2-D sweep; bit-identical to the serial path.
+
+        .. deprecated::
+            Thin shim over ``sweep(ScenarioSpec("two-predicate", ...))``;
+            new code should build the spec (or scenario) directly.
+        """
+        spec = ScenarioSpec(
+            "two-predicate",
+            {
+                "axes": [
+                    [space.x.name, space.x.targets.tolist()],
+                    [space.y.name, space.y.targets.tolist()],
+                ]
+            },
+        )
+        return self.sweep(spec, plan_filter=plan_filter)

@@ -1,10 +1,18 @@
-"""Sweep runner: measure forced plans over selectivity grids.
+"""Sweep runner: measure forced plans over N-D scenario grids.
 
 Methodology mirrors the paper's §3: plan choices are eliminated by
-construction (the systems hand over forced plan trees), every cell is a
+construction (the scenarios hand over forced plan trees), every cell is a
 cold-cache measurement on the virtual clock, and overly expensive plans
 are censored by a cost budget (Fig 1's traditional index scan "is not
 even shown across the entire range").
+
+What gets swept is pluggable: a :class:`~repro.core.scenario.Scenario`
+owns the swept axes (selectivity, memory budget, input size, ...), the
+per-cell plan providers, and the per-cell oracle; the generic
+:meth:`RobustnessSweep.sweep` drives any of them into an N-D
+:class:`MapData`.  The historical ``sweep_single_predicate`` /
+``sweep_two_predicate`` entry points remain as thin shims over the
+corresponding scenarios.
 
 Optional deterministic measurement jitter reproduces the paper's
 "measurement flukes in the sub-second range" (Fig 5) and the 0.1 s ties
@@ -14,18 +22,22 @@ of Fig 10 without sacrificing reproducibility.
 from __future__ import annotations
 
 import hashlib
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.mapdata import MapData
+from repro.core.mapdata import MapAxis, MapData
 from repro.core.parameter_space import Space1D, Space2D
+from repro.core.scenario import (
+    Cell,
+    Scenario,
+    SinglePredicateScenario,
+    TwoPredicateScenario,
+)
 from repro.errors import ExperimentError
 from repro.executor.plans import MeasuredRun, PlanRunner
-from repro.systems.base import DatabaseSystem
-from repro.workloads.queries import SinglePredicateQuery, TwoPredicateQuery
-from repro.workloads.selectivity import PredicateBuilder
 
 
 @dataclass(frozen=True)
@@ -54,11 +66,16 @@ class Jitter:
 
 
 class RobustnessSweep:
-    """Runs the paper's sweeps over one or more systems."""
+    """Runs robustness-map sweeps: any scenario, any grid dimensionality.
+
+    ``systems`` are the default plan providers for the shim entry points
+    (:meth:`sweep_single_predicate`, :meth:`sweep_two_predicate`); the
+    generic :meth:`sweep` uses whatever providers its scenario carries.
+    """
 
     def __init__(
         self,
-        systems: Iterable[DatabaseSystem],
+        systems: Iterable,
         budget_seconds: float | None = None,
         memory_bytes: int | None = None,
         jitter: Jitter | None = None,
@@ -76,33 +93,21 @@ class RobustnessSweep:
 
     # ------------------------------------------------------------------
 
-    def _runners(self) -> list[PlanRunner]:
-        """One measurement runner per system, built once per sweep.
-
-        Safe to reuse across cells: every :meth:`PlanRunner.measure` call
-        cold-resets the environment, so measurements stay independent.
-        """
-        return [
-            system.runner(
-                budget_seconds=self.budget_seconds,
-                memory_bytes=self.memory_bytes,
-            )
-            for system in self.systems
-        ]
-
     def _collect_plan_ids(
         self,
-        plans_per_system: list[dict],
+        ids_per_provider: list,
         plan_filter: Callable[[str], bool] | None,
     ) -> list[str]:
-        """Filtered plan id list across systems; rejects id collisions."""
+        """Filtered plan id list across providers; rejects id collisions."""
         plan_ids: list[str] = []
-        for plans in plans_per_system:
-            for plan_id in plans:
+        for provider_ids in ids_per_provider:
+            for plan_id in provider_ids:
                 if plan_filter is None or plan_filter(plan_id):
                     plan_ids.append(plan_id)
         duplicates = sorted(
-            {plan_id for plan_id in plan_ids if plan_ids.count(plan_id) > 1}
+            plan_id
+            for plan_id, count in Counter(plan_ids).items()
+            if count > 1
         )
         if duplicates:
             raise ExperimentError(
@@ -169,6 +174,96 @@ class RobustnessSweep:
                 times[index] = seconds
 
     # ------------------------------------------------------------------
+    # the generic N-D scenario sweep
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        scenario: Scenario,
+        plan_filter: Callable[[str], bool] | None = None,
+        cells: Sequence[int] | None = None,
+    ) -> MapData:
+        """Measure every plan of a scenario over its full N-D grid.
+
+        ``cells`` restricts the sweep to a subset of flat (row-major)
+        grid indices and marks the result partial (``meta["cells"]``)
+        for later :meth:`MapData.merge` — the chunk unit of the parallel
+        engine.  Results are bit-identical regardless of chunking.
+        """
+        axes = scenario.axes
+        shape = tuple(axis.n_points for axis in axes)
+        n_cells = int(np.prod(shape))
+        plan_ids = self._collect_plan_ids(
+            scenario.plan_ids_by_provider(), plan_filter
+        )
+        if not plan_ids:
+            raise ExperimentError(
+                f"scenario {scenario.name!r} has no plans after filtering"
+            )
+        cell_list = self._resolve_cells(cells, n_cells)
+        times = np.full((len(plan_ids), *shape), np.nan)
+        aborted = np.zeros((len(plan_ids), *shape), dtype=bool)
+        rows = np.zeros(shape, dtype=np.int64)
+
+        providers = scenario.providers()
+        # One runner per provider, built once and reused across cells
+        # (safe: every measure() cold-resets the environment).  Cells
+        # that override memory_bytes get a fresh per-cell runner.
+        default_runners = [
+            provider.runner(
+                budget_seconds=self.budget_seconds,
+                memory_bytes=self.memory_bytes,
+            )
+            for provider in providers
+        ]
+
+        for done, flat in enumerate(cell_list):
+            idx = tuple(int(k) for k in np.unravel_index(flat, shape))
+            cell: Cell = scenario.cell(idx)
+            rows[idx] = cell.expected_rows
+            plans_by_runner = []
+            for provider_i, plans in cell.plans:
+                if plan_filter is not None:
+                    plans = {
+                        plan_id: plan
+                        for plan_id, plan in plans.items()
+                        if plan_filter(plan_id)
+                    }
+                if cell.memory_bytes is None:
+                    runner = default_runners[provider_i]
+                else:
+                    runner = providers[provider_i].runner(
+                        budget_seconds=self.budget_seconds,
+                        memory_bytes=cell.memory_bytes,
+                    )
+                plans_by_runner.append((runner, plans))
+            runs = self._measure_cell(plans_by_runner, idx, cell.expected_rows)
+            self._record(runs, plan_ids, times, aborted, idx)
+            described = f" ({cell.describe})" if cell.describe else ""
+            self.progress(
+                f"{scenario.name} cell {done + 1}/{len(cell_list)}{described}"
+            )
+
+        meta = dict(scenario.meta(self))
+        meta["scenario"] = scenario.name
+        if cells is not None:
+            meta["cells"] = cell_list
+        map_axes = [
+            MapAxis(axis.name, axis.targets, scenario.achieved(i))
+            for i, axis in enumerate(axes)
+        ]
+        return MapData(
+            plan_ids=plan_ids,
+            times=times,
+            aborted=aborted,
+            rows=rows,
+            meta=meta,
+            axes=map_axes,
+        )
+
+    # ------------------------------------------------------------------
+    # deprecated shims over the two canonical scenarios
+    # ------------------------------------------------------------------
 
     def sweep_single_predicate(
         self,
@@ -179,69 +274,14 @@ class RobustnessSweep:
     ) -> MapData:
         """1-D sweep (Figs 1-2): one predicate, selectivity on the x axis.
 
-        ``cells`` restricts the sweep to a subset of grid indices and
-        marks the result partial (``meta["cells"]``) for later
-        :meth:`MapData.merge` — the chunk unit of the parallel engine.
+        .. deprecated::
+            Thin shim over ``sweep(SinglePredicateScenario(...))``, kept
+            for source compatibility; outputs are bit-identical to the
+            pre-scenario implementation.  New code should construct the
+            scenario directly.
         """
-        reference = self.systems[0]
-        column = column or reference.config.b_column
-        builder = PredicateBuilder(reference.table, column)
-        predicates = builder.predicates_for_grid(space.targets)
-
-        # Discover the full plan id list from the first cell's plans.
-        first_query = SinglePredicateQuery(predicates[0][0])
-        plan_ids = self._collect_plan_ids(
-            [system.single_predicate_plans(first_query) for system in self.systems],
-            plan_filter,
-        )
-
-        n_points = space.n_points
-        cell_list = self._resolve_cells(cells, n_points)
-        times = np.full((len(plan_ids), n_points), np.nan)
-        aborted = np.zeros((len(plan_ids), n_points), dtype=bool)
-        rows = np.zeros(n_points, dtype=np.int64)
-        # Achieved selectivities derive from the predicate grid alone, so
-        # partial sweeps fill the full axis (parts must agree to merge).
-        achieved = np.asarray([a for _p, a in predicates])
-
-        runners = self._runners()
-        for done, i in enumerate(cell_list):
-            predicate, achieved_sel = predicates[i]
-            query = SinglePredicateQuery(predicate)
-            expected = int(query.oracle_rids(reference.table).size)
-            rows[i] = expected
-            plans_by_runner = []
-            for system, runner in zip(self.systems, runners):
-                plans = {
-                    plan_id: plan
-                    for plan_id, plan in system.single_predicate_plans(query).items()
-                    if plan_filter is None or plan_filter(plan_id)
-                }
-                plans_by_runner.append((runner, plans))
-            runs = self._measure_cell(plans_by_runner, (i,), expected)
-            self._record(runs, plan_ids, times, aborted, (i,))
-            self.progress(
-                f"1-D cell {done + 1}/{len(cell_list)} (sel={achieved_sel:.2e})"
-            )
-
-        meta = {
-            "sweep": "single-predicate",
-            "column": column,
-            "budget_seconds": self.budget_seconds,
-            "systems": [system.name for system in self.systems],
-            "n_rows_table": reference.table.n_rows,
-        }
-        if cells is not None:
-            meta["cells"] = cell_list
-        return MapData(
-            plan_ids=plan_ids,
-            times=times,
-            aborted=aborted,
-            rows=rows,
-            x_targets=space.targets,
-            x_achieved=achieved,
-            meta=meta,
-        )
+        scenario = SinglePredicateScenario(self.systems, space, column=column)
+        return self.sweep(scenario, plan_filter=plan_filter, cells=cells)
 
     def sweep_two_predicate(
         self,
@@ -251,71 +291,11 @@ class RobustnessSweep:
     ) -> MapData:
         """2-D sweep (Figs 4-10): both predicate selectivities vary.
 
-        ``cells`` (flat row-major indices over the nx x ny grid) restricts
-        the sweep to a subset and marks the result partial, exactly like
-        :meth:`sweep_single_predicate`.
+        .. deprecated::
+            Thin shim over ``sweep(TwoPredicateScenario(...))``, kept for
+            source compatibility; outputs are bit-identical to the
+            pre-scenario implementation.  New code should construct the
+            scenario directly.
         """
-        reference = self.systems[0]
-        a_column = reference.config.a_column
-        b_column = reference.config.b_column
-        builder_a = PredicateBuilder(reference.table, a_column)
-        builder_b = PredicateBuilder(reference.table, b_column)
-        preds_a = builder_a.predicates_for_grid(space.x.targets)
-        preds_b = builder_b.predicates_for_grid(space.y.targets)
-
-        first_query = TwoPredicateQuery(preds_a[0][0], preds_b[0][0])
-        plan_ids = self._collect_plan_ids(
-            [system.two_predicate_plans(first_query) for system in self.systems],
-            plan_filter,
-        )
-
-        nx, ny = space.shape
-        cell_list = self._resolve_cells(cells, nx * ny)
-        times = np.full((len(plan_ids), nx, ny), np.nan)
-        aborted = np.zeros((len(plan_ids), nx, ny), dtype=bool)
-        rows = np.zeros((nx, ny), dtype=np.int64)
-
-        mask_a_cache = [pred.mask(reference.table.column(a_column)) for pred, _ in preds_a]
-        mask_b_cache = [pred.mask(reference.table.column(b_column)) for pred, _ in preds_b]
-
-        runners = self._runners()
-        for done, flat in enumerate(cell_list):
-            ix, iy = divmod(flat, ny)
-            pred_a = preds_a[ix][0]
-            pred_b = preds_b[iy][0]
-            query = TwoPredicateQuery(pred_a, pred_b)
-            expected = int(np.count_nonzero(mask_a_cache[ix] & mask_b_cache[iy]))
-            rows[ix, iy] = expected
-            plans_by_runner = []
-            for system, runner in zip(self.systems, runners):
-                plans = {
-                    plan_id: plan
-                    for plan_id, plan in system.two_predicate_plans(query).items()
-                    if plan_filter is None or plan_filter(plan_id)
-                }
-                plans_by_runner.append((runner, plans))
-            runs = self._measure_cell(plans_by_runner, (ix, iy), expected)
-            self._record(runs, plan_ids, times, aborted, (ix, iy))
-            self.progress(f"2-D cell {done + 1}/{len(cell_list)} ({ix},{iy})")
-
-        meta = {
-            "sweep": "two-predicate",
-            "a_column": a_column,
-            "b_column": b_column,
-            "budget_seconds": self.budget_seconds,
-            "systems": [system.name for system in self.systems],
-            "n_rows_table": reference.table.n_rows,
-        }
-        if cells is not None:
-            meta["cells"] = cell_list
-        return MapData(
-            plan_ids=plan_ids,
-            times=times,
-            aborted=aborted,
-            rows=rows,
-            x_targets=space.x.targets,
-            x_achieved=np.asarray([a for _p, a in preds_a]),
-            y_targets=space.y.targets,
-            y_achieved=np.asarray([a for _p, a in preds_b]),
-            meta=meta,
-        )
+        scenario = TwoPredicateScenario(self.systems, space)
+        return self.sweep(scenario, plan_filter=plan_filter, cells=cells)

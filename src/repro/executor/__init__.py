@@ -24,6 +24,7 @@ from repro.executor.plans import (
     CoveringCompositeScanNode,
     MdamScanNode,
     CoveringRidJoinNode,
+    ExternalSortNode,
     PlanRunner,
     MeasuredRun,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "RidIntersectNode",
     "CoveringCompositeScanNode",
     "MdamScanNode",
+    "ExternalSortNode",
     "CoveringRidJoinNode",
     "PlanRunner",
     "MeasuredRun",

@@ -35,6 +35,7 @@ from repro.executor.fetch import FetchStrategy
 from repro.executor.mdam import mdam_scan
 from repro.executor.predicates import ColumnRange, apply_predicates
 from repro.executor.results import Result
+from repro.executor.sort import ExternalSort, SpillPolicy
 from repro.sim.disk import DiskStats
 from repro.storage.codec import CompositeKeyCodec
 from repro.storage.env import StorageEnv
@@ -458,6 +459,42 @@ class CoveringRidJoinNode(PlanNode):
         ctx.charge(common.size, profile.cpu_row)
         ctx.check_budget()
         return Result(np.asarray(common, dtype=np.int64), columns)
+
+
+class ExternalSortNode(PlanNode):
+    """Sort a bound input array through :class:`ExternalSort`.
+
+    The "plan" of the §4 sort-spill robustness maps: the input is fixed
+    at construction (scenarios generate it deterministically per cell)
+    and the node charges run generation, spilling, and merging against
+    the workspace granted by the execution context — so the same node
+    measured under different ``memory_bytes`` budgets traces the spill
+    policy's degradation curve.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        row_bytes: int = 8,
+        policy: SpillPolicy = SpillPolicy.GRACEFUL,
+    ) -> None:
+        self.values = np.asarray(values)
+        self.row_bytes = row_bytes
+        self.policy = policy
+        self.label = (
+            f"ExternalSort({self.values.size} rows; {policy.value}; "
+            f"{row_bytes}B/row)"
+        )
+
+    def execute(self, ctx: ExecContext) -> Result:
+        sorted_result = ExternalSort(
+            ctx, row_bytes=self.row_bytes, policy=self.policy
+        ).sort(self.values)
+        ctx.check_budget()
+        return Result(
+            np.arange(sorted_result.values.size, dtype=np.int64),
+            {"sorted": sorted_result.values},
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,12 @@ class DatabaseSystem(ABC):
     Each system hosts its own copy of the (identical) data in its own
     device environment, mirroring how the paper loaded one dataset into
     three separate database systems.
+
+    Every system is a *plan provider* in the scenario sense
+    (:mod:`repro.core.scenario`): it exposes forced plan inventories per
+    query template (:meth:`plans_for` dispatches on the template type)
+    and builds cold-cache measurement runners via :meth:`runner` — the
+    two hooks the generic N-D sweep drives.
     """
 
     name: str = "?"
@@ -64,6 +70,22 @@ class DatabaseSystem(ABC):
     ) -> dict[str, PlanNode]:
         """Forced plans for the single-predicate selection (Figs 1-2)."""
         raise PlanError(f"system {self.name} does not define single-predicate plans")
+
+    def plans_for(self, query) -> dict[str, PlanNode]:
+        """Plan-provider hook: forced plans for any known query template.
+
+        Scenarios use this to stay agnostic of the template; subclasses
+        hosting new templates (joins, aggregations, ...) extend the
+        dispatch by overriding.
+        """
+        if isinstance(query, TwoPredicateQuery):
+            return self.two_predicate_plans(query)
+        if isinstance(query, SinglePredicateQuery):
+            return self.single_predicate_plans(query)
+        raise PlanError(
+            f"system {self.name} has no plans for query template "
+            f"{type(query).__name__}"
+        )
 
     def runner(
         self,

@@ -86,6 +86,61 @@ def test_harness_parallel_map_bit_identical_to_serial(tmp_path):
     assert parallel.meta == serial.meta
 
 
+def test_scenario_maps_cached_and_validated(tmp_path):
+    config = tiny_config(
+        tmp_path, sort_rows=(256, 512, 1024), sort_memory=(32 << 10, 64 << 10)
+    )
+    computed = BenchSession(config).scenario_map("sort_spill")
+    assert computed.grid_shape == (3, 2)
+    assert computed.meta["scenario"] == "sort-spill"
+    path = config.cache_path("scenario_sort_spill")
+    assert path is not None and path.exists()
+    cached = BenchSession(config).scenario_map("sort_spill")
+    assert np.array_equal(cached.times, computed.times, equal_nan=True)
+    assert cached.meta == computed.meta
+    # Changing a scenario-shaping knob gets a fresh cache file.
+    changed = tiny_config(
+        tmp_path, sort_rows=(256, 512), sort_memory=(32 << 10, 64 << 10)
+    )
+    assert changed.fingerprint() != config.fingerprint()
+    assert BenchSession(changed).scenario_map("sort_spill").grid_shape == (2, 2)
+
+
+def test_scenario_map_unknown_name(tmp_path):
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError, match="unknown scenario"):
+        BenchSession(tiny_config(tmp_path)).scenario_map("nope")
+
+
+def test_harness_scenario_parallel_bit_identical_to_serial(tmp_path):
+    overrides = dict(memory_axis=(8 << 10, 512 << 10))
+    serial = BenchSession(
+        tiny_config(tmp_path / "s", **overrides)
+    ).memory_sweep_map()
+    parallel = BenchSession(
+        tiny_config(tmp_path / "p", n_workers=2, **overrides)
+    ).memory_sweep_map()
+    assert parallel.plan_ids == serial.plan_ids
+    assert np.array_equal(parallel.times, serial.times, equal_nan=True)
+    assert np.array_equal(parallel.aborted, serial.aborted)
+    assert np.array_equal(parallel.rows, serial.rows)
+    assert parallel.meta == serial.meta
+
+
+def test_cli_scenario_smoke(tmp_path, monkeypatch):
+    from repro.bench.cli import main
+
+    monkeypatch.setenv("REPRO_BENCH_ROWS", "512")
+    monkeypatch.setenv("REPRO_BENCH_MIN_EXP_2D", "-2")
+    out_dir = tmp_path / "scenarios"
+    code = main([str(out_dir), "--scenario", "sort_spill"])
+    assert code == 0
+    saved = MapData.load(out_dir / "scenario_sort_spill.json")
+    assert saved.meta["scenario"] == "sort-spill"
+    assert main([str(out_dir), "--scenario", "bogus"]) == 2
+
+
 def test_corrupt_fingerprint_triggers_recompute(tmp_path):
     config = tiny_config(tmp_path)
     computed = BenchSession(config).single_predicate_map()
