@@ -1,0 +1,70 @@
+"""Join robustness maps: the paper's Figs 4-5 workload.
+
+The paper reads its join diagrams through the symmetry landmark: "the
+symmetry in this diagram indicates that the two dimensions ... have very
+similar effects" (merge join), while "hash join plans perform better in
+some cases but are not symmetric [GLS94]".  The :class:`JoinScenario`
+sweeps the two join input cardinalities over four forced plans — merge
+join, hash join under both spill policies, and an index nested-loop
+join — with a workspace tight enough that large build sides must spill.
+
+Run:  python examples/join_robustness.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import JoinScenario, OperatorBench
+from repro.core.landmarks import symmetry_score
+from repro.viz import ABSOLUTE_TIME_SCALE, heatmap_ascii
+from repro.viz.figures import absolute_heatmap
+
+ROW_BYTES = 16
+MAX_ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", 8192))
+#: Tight workspace: build sides beyond half the axis must spill.
+MEMORY_BYTES = (MAX_ROWS // 2) * 2 * ROW_BYTES
+
+
+def main() -> None:
+    rows = [MAX_ROWS // 8, MAX_ROWS // 4, MAX_ROWS // 2, MAX_ROWS]
+    scenario = JoinScenario(
+        OperatorBench(), rows, rows, row_bytes=ROW_BYTES, key_domain=1 << 14
+    )
+    mapdata = scenario.run(memory_bytes=MEMORY_BYTES)
+    print(
+        f"join grid {rows} x {rows} rows, "
+        f"workspace {MEMORY_BYTES >> 10} KiB, 4 plans\n"
+    )
+
+    # The symmetry landmark, per plan.
+    for plan_id in mapdata.plan_ids:
+        score = symmetry_score(mapdata.times_for(plan_id))
+        verdict = "symmetric" if score < 0.02 else "asymmetric"
+        print(f"  {plan_id:28s} symmetry score {score:8.4f}  {verdict}")
+
+    print("\nmerge join (build rows right, probe rows up):")
+    print(heatmap_ascii(mapdata.times_for("join.merge"), ABSOLUTE_TIME_SCALE))
+    print("\nhash join, graceful spill (same axes):")
+    print(
+        heatmap_ascii(
+            mapdata.times_for("join.hash.graceful"), ABSOLUTE_TIME_SCALE
+        )
+    )
+
+    # The hash join's build-side cliff: fix the probe size, walk the build.
+    hash_slice = mapdata.times_for("join.hash.all-or-nothing")[:, -1]
+    jumps = hash_slice[1:] / hash_slice[:-1]
+    print(
+        "\nall-or-nothing hash, largest probe: adjacent build-size cost "
+        f"ratios {np.round(jumps, 2).tolist()}"
+    )
+
+    for plan_id in ("join.merge", "join.hash.graceful"):
+        path = f"join_map_{plan_id.replace('.', '_')}.svg"
+        absolute_heatmap(mapdata, plan_id, f"Join map: {plan_id}", path=path)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

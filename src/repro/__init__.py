@@ -42,6 +42,7 @@ from repro.workloads import (
     LineitemConfig,
     build_lineitem,
     PredicateBuilder,
+    JoinQuery,
     SinglePredicateQuery,
     TwoPredicateQuery,
 )
@@ -64,6 +65,7 @@ from repro.core import (
     TwoPredicateScenario,
     SortSpillScenario,
     MemorySweepScenario,
+    JoinScenario,
     OperatorBench,
     RobustnessSweep,
     Jitter,
@@ -107,6 +109,7 @@ __all__ = [
     "PredicateBuilder",
     "SinglePredicateQuery",
     "TwoPredicateQuery",
+    "JoinQuery",
     "SystemConfig",
     "SystemA",
     "SystemB",
@@ -123,6 +126,7 @@ __all__ = [
     "TwoPredicateScenario",
     "SortSpillScenario",
     "MemorySweepScenario",
+    "JoinScenario",
     "OperatorBench",
     "RobustnessSweep",
     "Jitter",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import sys
 import time
 from pathlib import Path
@@ -28,6 +29,11 @@ import numpy as np
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import BenchConfig, BenchSession
 from repro.bench.report import format_claims
+from repro.core.landmarks import symmetry_score
+from repro.errors import ExperimentError
+from repro.viz.colormap import ABSOLUTE_TIME_SCALE
+from repro.viz.figures import absolute_heatmap, heatmap_png_pixels
+from repro.viz.png import encode_png
 
 
 class _ProgressPrinter:
@@ -54,10 +60,29 @@ class _ProgressPrinter:
         print(f"  {message}", file=sys.stderr, flush=True)
 
 
+def _scenario_heatmaps(mapdata, name: str, out_dir: Path) -> list[Path]:
+    """Fig 4/5-style SVG + PNG heat maps, one pair per plan (2-D maps)."""
+    written: list[Path] = []
+    for plan_id in mapdata.plan_ids:
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", plan_id)
+        svg_path = out_dir / f"scenario_{name}_{safe}.svg"
+        svg_path.write_text(
+            absolute_heatmap(mapdata, plan_id, f"{name}: {plan_id}")
+        )
+        png_path = out_dir / f"scenario_{name}_{safe}.png"
+        png_path.write_bytes(
+            encode_png(
+                heatmap_png_pixels(mapdata.times_for(plan_id), ABSOLUTE_TIME_SCALE)
+            )
+        )
+        written.extend([svg_path, png_path])
+    return written
+
+
 def _run_scenarios(
     session: BenchSession, names: list[str], out_dir: Path
 ) -> int:
-    """Sweep each named scenario, write its MapData, print a summary."""
+    """Sweep each named scenario, write its MapData + heat maps, summarize."""
     names = [n.replace("-", "_") for n in names]
     unknown = [n for n in names if n not in session.SCENARIO_MAPS]
     if unknown:
@@ -75,6 +100,14 @@ def _run_scenarios(
         axes = " x ".join(
             f"{axis.name}[{axis.n_points}]" for axis in mapdata.axes or []
         )
+        # The symmetry landmark (Fig 5) only means something when both
+        # axes carry the same quantity, i.e. the join scenario's square
+        # input-size grid — not any map that happens to be square.
+        wants_symmetry = (
+            mapdata.meta.get("scenario") == "join"
+            and mapdata.is_2d
+            and mapdata.grid_shape[0] == mapdata.grid_shape[1]
+        )
         print(f"scenario {name}: grid {axes}, {mapdata.n_plans} plans")
         for plan_id in mapdata.plan_ids:
             times = mapdata.times_for(plan_id)
@@ -86,8 +119,18 @@ def _run_scenarios(
                 else "fully censored"
             )
             note = f" ({censored} censored)" if censored else ""
+            if wants_symmetry:
+                try:
+                    note += f" [symmetry {symmetry_score(times):.4f}]"
+                except ExperimentError:
+                    # Censoring can leave no cell finite in both
+                    # orientations; the sweep results still matter.
+                    note += " [symmetry n/a: censored]"
             print(f"  {plan_id:28s} {span}{note}")
         print(f"  wrote {path}")
+        if mapdata.is_2d:
+            for artifact in _scenario_heatmaps(mapdata, name, out_dir):
+                print(f"  wrote {artifact}")
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.core.parallel import ParallelSweep
 from repro.core.parameter_space import Space1D, Space2D
 from repro.core.runner import Jitter, RobustnessSweep
 from repro.core.scenario import (
+    JoinScenario,
     MemorySweepScenario,
     OperatorBench,
     SortSpillScenario,
@@ -70,6 +71,19 @@ class BenchConfig:
 
     memory_axis: tuple = (16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20)
     """Per-cell workspace budgets of the memory-sweep scenario (bytes)."""
+
+    join_rows: tuple = (512, 1024, 2048, 4096, 8192)
+    """Both input-cardinality axes of the join scenario (square grid, so
+    the merge-join symmetry landmark is well defined)."""
+
+    join_memory_bytes: int = 64 << 10
+    """Workspace per join measurement (tight: large builds must spill)."""
+
+    join_row_bytes: int = 16
+    """Row width assumed by the join scenario."""
+
+    join_key_domain: int = 1 << 16
+    """Join key domain (controls match density and output sizes)."""
 
     n_workers: int = field(
         default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
@@ -186,6 +200,8 @@ class BenchSession:
             return (len(self.config.sort_rows), len(self.config.sort_memory))
         if key == "scenario_memory_sweep":
             return (1 - self.config.min_exp_2d, len(self.config.memory_axis))
+        if key == "scenario_join":
+            return (len(self.config.join_rows), len(self.config.join_rows))
         n = 1 - self.config.min_exp_2d
         return (n, n)
 
@@ -334,12 +350,51 @@ class BenchSession:
 
         return self._cached("scenario_memory_sweep", compute)
 
+    def join_map(self) -> MapData:
+        """Build rows x probe rows over the four join plans (Figs 4-5).
+
+        Square grid, fixed (tight) workspace memory: the merge join's
+        map comes out symmetric, the hash joins show the build-side
+        spill cliff, the index nested-loop join is probe-bound.
+        """
+
+        def compute() -> MapData:
+            config = self.config
+            scenario = JoinScenario(
+                OperatorBench(),
+                config.join_rows,
+                config.join_rows,
+                row_bytes=config.join_row_bytes,
+                key_domain=config.join_key_domain,
+                seed=config.seed,
+            )
+            # Budget yardstick intrinsic to the scenario (no systems
+            # needed): budget_scale x the largest all-in-memory merge join.
+            budget = config.budget_scale * scenario.baseline_seconds()
+            if self._wants_parallel():
+                engine = ParallelSweep(
+                    operator_bench_factory,
+                    budget_seconds=budget,
+                    memory_bytes=config.join_memory_bytes,
+                    n_workers=config.n_workers,
+                    progress=self.progress,
+                )
+                return engine.sweep(scenario.spec())
+            return scenario.run(
+                budget_seconds=budget,
+                memory_bytes=config.join_memory_bytes,
+                progress=self.progress or (lambda message: None),
+            )
+
+        return self._cached("scenario_join", compute)
+
     #: CLI-facing scenario names -> bound map methods.
     SCENARIO_MAPS = {
         "single_predicate": "single_predicate_map",
         "two_predicate": "two_predicate_map",
         "sort_spill": "sort_spill_map",
         "memory_sweep": "memory_sweep_map",
+        "join": "join_map",
     }
 
     def scenario_map(self, name: str) -> MapData:

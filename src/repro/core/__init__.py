@@ -23,6 +23,7 @@ from repro.core.parameter_space import Axis, Space1D, Space2D, log2_targets
 from repro.core.mapdata import MapAxis, MapData
 from repro.core.scenario import (
     Cell,
+    JoinScenario,
     MemorySweepScenario,
     OperatorBench,
     Scenario,
@@ -70,6 +71,7 @@ __all__ = [
     "TwoPredicateScenario",
     "SortSpillScenario",
     "MemorySweepScenario",
+    "JoinScenario",
     "OperatorBench",
     "operator_bench_factory",
     "build_scenario",

@@ -70,13 +70,18 @@ def monotonicity_violations(
 
 
 def flattening_violations(
-    xs: np.ndarray, ys: np.ndarray, slope_growth_tol: float = 1.25
+    xs: np.ndarray, ys: np.ndarray, slope_growth_tol: float = 1.25,
+    rise_tol: float = 0.02,
 ) -> list[Landmark]:
     """Points where the marginal cost (dy/dx) *increases* materially.
 
     The paper's condition: "the difference between fetching 100 and 200
     rows should not be greater than between fetching 1,000 and 1,100
     rows" — i.e. the first derivative should monotonically decrease.
+    A dip (negative slope) followed by a material rise (beyond
+    ``rise_tol``, mirroring the monotonicity detector's tolerance) is a
+    sign-flipping derivative increase and is reported too; plateaus are
+    not, so page-quantized staircase curves stay clean.
     """
     xs, ys = _validate_curve(xs, ys)
     landmarks = []
@@ -85,6 +90,18 @@ def flattening_violations(
         if np.isnan(slopes[i]) or np.isnan(slopes[i - 1]):
             continue
         if slopes[i - 1] <= 0:
+            # Dip-then-spike: the dip itself is the monotonicity
+            # detector's finding; the rebound is ours.
+            if slopes[i - 1] < 0 and ys[i + 1] > ys[i] * (1.0 + rise_tol):
+                landmarks.append(
+                    Landmark(
+                        "flattening",
+                        i + 1,
+                        float(xs[i + 1]),
+                        f"marginal cost flipped sign "
+                        f"{slopes[i - 1]:.4g} -> {slopes[i]:.4g} s/unit",
+                    )
+                )
             continue
         if slopes[i] > slopes[i - 1] * slope_growth_tol:
             landmarks.append(

@@ -57,7 +57,10 @@ def profile_plan(
     censored = int(np.count_nonzero(~np.isfinite(quotient)))
     worst = float(quotient.max()) if censored == 0 else float("inf")
     geomean = float(np.exp(np.log(finite).mean())) if finite.size else float("inf")
-    mask = optimal_mask(mapdata, tol_rel=tol_rel, plan_ids=None)
+    # Optimality against the same baseline the quotients use: with a
+    # restricted baseline, "optimal" means within tolerance of the best
+    # *baseline* plan — not of the best plan overall.
+    mask = optimal_mask(mapdata, tol_rel=tol_rel, baseline_ids=baseline_ids)
     plan_mask = mask[mapdata.plan_index(plan_id)]
     within = {
         factor: float(np.count_nonzero(quotient <= factor)) / quotient.size

@@ -28,10 +28,20 @@ def optimal_mask(
     tol_abs: float = 0.0,
     tol_rel: float = 0.0,
     plan_ids: list[str] | None = None,
+    baseline_ids: list[str] | None = None,
 ) -> np.ndarray:
-    """Boolean (P, *grid): plan optimal-within-tolerance at each cell."""
+    """Boolean (P, *grid): plan optimal-within-tolerance at each cell.
+
+    ``plan_ids`` selects which plans are masked (default all);
+    ``baseline_ids`` selects which plans define "best" (default: the
+    masked set itself).
+    """
     data = mapdata if plan_ids is None else mapdata.subset(plan_ids)
-    best = best_times(data)
+    best = (
+        best_times(mapdata, baseline_ids)
+        if baseline_ids is not None
+        else best_times(data)
+    )
     threshold = best + tol_abs + best * tol_rel
     with np.errstate(invalid="ignore"):
         mask = data.times <= threshold

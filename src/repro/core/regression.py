@@ -31,6 +31,8 @@ class RegressionFinding:
 
     @property
     def factor(self) -> float:
+        if self.before_seconds == 0.0:
+            return float("inf") if self.after_seconds > 0.0 else 1.0
         return self.after_seconds / self.before_seconds
 
     def __str__(self) -> str:
@@ -112,6 +114,16 @@ def compare_maps(
                 report.improvements.append(
                     RegressionFinding(plan_id, cell, float("inf"), a)
                 )
+                continue
+            # Zero-cost cells cannot form a quotient: a plan that was
+            # free before and costs anything now regressed by an
+            # unbounded factor (and the mirror image is an improvement).
+            if b == 0.0:
+                if a > 0.0:
+                    report.findings.append(RegressionFinding(plan_id, cell, b, a))
+                continue
+            if a == 0.0:
+                report.improvements.append(RegressionFinding(plan_id, cell, b, a))
                 continue
             if b > 0 and a / b > threshold:
                 report.findings.append(RegressionFinding(plan_id, cell, b, a))

@@ -28,6 +28,9 @@ The paper's two canonical sweeps are :class:`SinglePredicateScenario`
 and :class:`TwoPredicateScenario`; the §4 dimensions come in with
 :class:`SortSpillScenario` (input rows x memory, two spill policies as
 plans) and :class:`MemorySweepScenario` (selectivity x memory budget).
+:class:`JoinScenario` opens the join workload of Figs 4-5: build rows x
+probe rows (optionally x memory) over the merge / hash / index
+nested-loop join plans, read through the symmetry landmark.
 """
 
 from __future__ import annotations
@@ -40,6 +43,12 @@ import numpy as np
 
 from repro.core.parameter_space import Axis
 from repro.errors import ExperimentError
+from repro.executor.joins import (
+    JOIN_PLAN_IDS,
+    MergeJoinNode,
+    join_matches,
+    join_plan_inventory,
+)
 from repro.executor.plans import ExternalSortNode, PlanNode, PlanRunner
 from repro.executor.sort import SpillPolicy
 from repro.sim.profile import DeviceProfile
@@ -657,4 +666,158 @@ class MemorySweepScenario(Scenario):
             sel_axis,
             memory_targets=memory_axis.targets,
             column=spec.params.get("column"),
+        )
+
+
+@register_scenario
+class JoinScenario(Scenario):
+    """Build rows x probe rows over the join plan inventory (Figs 4-5).
+
+    Both inputs draw from the *same* deterministic generator keyed only
+    by row count, so the cell at ``(i, j)`` joins exactly the swapped
+    inputs of the cell at ``(j, i)`` — which makes the paper's symmetry
+    landmark sharp: the merge join's map is symmetric by construction
+    (``symmetry_score`` ~ 0 on a square grid) while the hash joins'
+    build-side memory cliff and double hashing cost, and the index
+    nested-loop join's probe-bound cost, are not.
+
+    ``memory_targets`` optionally adds workspace memory as a third swept
+    axis (per-cell budgets, like :class:`MemorySweepScenario`); without
+    it the sweep-level ``memory_bytes`` knob applies.
+    """
+
+    name = "join"
+
+    def __init__(
+        self,
+        provider: OperatorBench | None = None,
+        build_targets: Sequence[int] = (),
+        probe_targets: Sequence[int] = (),
+        memory_targets: Sequence[int] | None = None,
+        row_bytes: int = 16,
+        key_domain: int = 1 << 16,
+        seed: int = 2009,
+    ) -> None:
+        self.provider = provider or OperatorBench()
+        self.row_bytes = int(row_bytes)
+        self.key_domain = int(key_domain)
+        self.seed = int(seed)
+        self._build_axis = Axis(
+            "build_rows", np.asarray(build_targets, dtype=float)
+        )
+        self._probe_axis = Axis(
+            "probe_rows", np.asarray(probe_targets, dtype=float)
+        )
+        self._memory_axis = (
+            Axis("memory_bytes", np.asarray(memory_targets, dtype=float))
+            if memory_targets is not None and len(memory_targets)
+            else None
+        )
+
+    @property
+    def axes(self) -> tuple[Axis, ...]:
+        if self._memory_axis is None:
+            return (self._build_axis, self._probe_axis)
+        return (self._build_axis, self._probe_axis, self._memory_axis)
+
+    def providers(self) -> list:
+        return [self.provider]
+
+    def plan_ids_by_provider(self) -> list[list[str]]:
+        return [list(JOIN_PLAN_IDS)]
+
+    def input_values(self, n_rows: int) -> np.ndarray:
+        """Deterministic join input for a row count (same for both sides)."""
+        rng = np.random.default_rng([self.seed, n_rows])
+        return rng.integers(0, self.key_domain, n_rows).astype(np.int64)
+
+    def baseline_seconds(self) -> float:
+        """Cost of merge-joining the largest inputs fully in memory.
+
+        The scenario-intrinsic budget yardstick (compare
+        :meth:`SortSpillScenario.baseline_seconds`): budgets scale off
+        the cheapest way to do the most work, so only pathological spill
+        or probe blowups get censored.
+        """
+        n_build = int(self._build_axis.targets[-1])
+        n_probe = int(self._probe_axis.targets[-1])
+        runner = self.provider.runner(
+            memory_bytes=2 * (n_build + n_probe + 2) * self.row_bytes
+        )
+        run = runner.measure(
+            MergeJoinNode(
+                self.input_values(n_build),
+                self.input_values(n_probe),
+                row_bytes=self.row_bytes,
+            )
+        )
+        return run.seconds
+
+    def cell(self, idx: tuple[int, ...]) -> Cell:
+        i, j = idx[0], idx[1]
+        n_build = int(self._build_axis.targets[i])
+        n_probe = int(self._probe_axis.targets[j])
+        build = self.input_values(n_build)
+        probe = self.input_values(n_probe)
+        memory = (
+            int(self._memory_axis.targets[idx[2]])
+            if self._memory_axis is not None
+            else None
+        )
+        describe = f"build={n_build} probe={n_probe}"
+        if memory is not None:
+            describe += f" mem={memory}"
+        return Cell(
+            expected_rows=int(join_matches(build, probe).size),
+            plans=[(0, join_plan_inventory(build, probe, self.row_bytes))],
+            memory_bytes=memory,
+            describe=describe,
+        )
+
+    def meta(self, sweep) -> dict:
+        return {
+            "sweep": "join",
+            "row_bytes": self.row_bytes,
+            "key_domain": self.key_domain,
+            "seed": self.seed,
+            "budget_seconds": sweep.budget_seconds,
+            "systems": [self.provider.name],
+        }
+
+    def spec(self) -> ScenarioSpec:
+        axes = [
+            [self._build_axis.name, self._build_axis.targets.tolist()],
+            [self._probe_axis.name, self._probe_axis.targets.tolist()],
+        ]
+        if self._memory_axis is not None:
+            axes.append(
+                [self._memory_axis.name, self._memory_axis.targets.tolist()]
+            )
+        return ScenarioSpec(
+            self.name,
+            {
+                "axes": axes,
+                "row_bytes": self.row_bytes,
+                "key_domain": self.key_domain,
+                "seed": self.seed,
+            },
+        )
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, providers: list) -> "Scenario":
+        axes = spec.spec_axes()
+        memory_targets = axes[2].targets if len(axes) == 3 else None
+        provider = providers[0] if providers else None
+        if provider is not None and not isinstance(provider, OperatorBench):
+            # A systems factory was supplied; join plans only need an env,
+            # so wrap a fresh bench rather than borrowing the system's.
+            provider = OperatorBench()
+        return cls(
+            provider,
+            build_targets=axes[0].targets,
+            probe_targets=axes[1].targets,
+            memory_targets=memory_targets,
+            row_bytes=int(spec.params.get("row_bytes", 16)),
+            key_domain=int(spec.params.get("key_domain", 1 << 16)),
+            seed=int(spec.params.get("seed", 2009)),
         )

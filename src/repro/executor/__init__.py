@@ -29,6 +29,14 @@ from repro.executor.plans import (
     MeasuredRun,
 )
 from repro.executor.sort import ExternalSort, SortResult, SpillPolicy
+from repro.executor.joins import (
+    JOIN_PLAN_IDS,
+    HashJoinNode,
+    IndexNestedLoopJoinNode,
+    MergeJoinNode,
+    join_matches,
+    join_plan_inventory,
+)
 from repro.executor.aggregate import HashAggregate, StreamAggregate
 
 __all__ = [
@@ -57,6 +65,12 @@ __all__ = [
     "ExternalSort",
     "SortResult",
     "SpillPolicy",
+    "JOIN_PLAN_IDS",
+    "MergeJoinNode",
+    "HashJoinNode",
+    "IndexNestedLoopJoinNode",
+    "join_matches",
+    "join_plan_inventory",
     "HashAggregate",
     "StreamAggregate",
 ]

@@ -89,33 +89,44 @@ class ExternalSort:
     ) -> int:
         """Charge run generation and a multiway merge; returns run count."""
         ctx = self.ctx
-        # Run generation: sort each memory-full and write it out.
-        n_runs = max(1, math.ceil(spilled_rows / memory_rows))
-        runs = []
-        remaining = spilled_rows
-        for _ in range(n_runs):
-            run_rows = min(memory_rows, remaining)
-            remaining -= run_rows
-            ctx.charge_sort_cpu(run_rows)
-            runs.append(ctx.temp.write_run(run_rows, self.row_bytes))
-        # The in-memory portion (graceful only) is sorted as its own run.
-        in_memory_rows = n_rows - spilled_rows
-        if in_memory_rows:
-            ctx.charge_sort_cpu(in_memory_rows)
-        # Merge: stream every spilled run back (alternating between runs
-        # costs positioning per switch) and merge-compare all rows.
-        merge_ways = n_runs + (1 if in_memory_rows else 0)
-        page_quantum = max(1, memory_rows // max(1, merge_ways) // 64)
-        active = [run for run in runs]
-        for run in active:
-            run.reset()
-        while any(run.pages_remaining for run in active):
+        # The spill path works out of a memory_rows workspace (one
+        # memory-full per generated run, the same buffers during the
+        # merge), so it must hold a broker grant just like the in-memory
+        # path does; min() covers the max(2, ...) clamp of _memory_rows.
+        workspace_bytes = min(
+            memory_rows * self.row_bytes, ctx.broker.available_bytes
+        )
+        grant = ctx.broker.grant(workspace_bytes)
+        try:
+            # Run generation: sort each memory-full and write it out.
+            n_runs = max(1, math.ceil(spilled_rows / memory_rows))
+            runs = []
+            remaining = spilled_rows
+            for _ in range(n_runs):
+                run_rows = min(memory_rows, remaining)
+                remaining -= run_rows
+                ctx.charge_sort_cpu(run_rows)
+                runs.append(ctx.temp.write_run(run_rows, self.row_bytes))
+            # The in-memory portion (graceful only) is sorted as its own run.
+            in_memory_rows = n_rows - spilled_rows
+            if in_memory_rows:
+                ctx.charge_sort_cpu(in_memory_rows)
+            # Merge: stream every spilled run back (alternating between runs
+            # costs positioning per switch) and merge-compare all rows.
+            merge_ways = n_runs + (1 if in_memory_rows else 0)
+            page_quantum = max(1, memory_rows // max(1, merge_ways) // 64)
+            active = [run for run in runs]
             for run in active:
-                if run.pages_remaining:
-                    ctx.temp.read_pages(run, page_quantum)
+                run.reset()
+            while any(run.pages_remaining for run in active):
+                for run in active:
+                    if run.pages_remaining:
+                        ctx.temp.read_pages(run, page_quantum)
+                ctx.check_budget()
+            if merge_ways > 1:
+                comparisons = n_rows * math.log2(merge_ways)
+                ctx.clock.advance(comparisons * ctx.profile.cpu_compare)
             ctx.check_budget()
-        if merge_ways > 1:
-            comparisons = n_rows * math.log2(merge_ways)
-            ctx.clock.advance(comparisons * ctx.profile.cpu_compare)
-        ctx.check_budget()
+        finally:
+            grant.release()
         return n_runs

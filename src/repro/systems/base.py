@@ -13,7 +13,7 @@ from repro.sim.profile import DeviceProfile
 from repro.storage.env import StorageEnv
 from repro.storage.table import Table
 from repro.workloads.lineitem import LineitemConfig, build_lineitem, lineitem_columns
-from repro.workloads.queries import SinglePredicateQuery, TwoPredicateQuery
+from repro.workloads.queries import JoinQuery, SinglePredicateQuery, TwoPredicateQuery
 
 
 @dataclass(frozen=True)
@@ -71,17 +71,36 @@ class DatabaseSystem(ABC):
         """Forced plans for the single-predicate selection (Figs 1-2)."""
         raise PlanError(f"system {self.name} does not define single-predicate plans")
 
+    def join_plans(self, query: JoinQuery) -> dict[str, PlanNode]:
+        """Forced plans for the bound-input join (Figs 4-5's join maps).
+
+        The inventory (merge, hash with both spill policies, index
+        nested-loop) is pure executor machinery, so every system exposes
+        the same plans under its own namespace; subclasses with special
+        join capabilities override.
+        """
+        from repro.executor.joins import join_plan_inventory
+
+        return {
+            self.qualify(plan_id): plan
+            for plan_id, plan in join_plan_inventory(
+                query.build_keys, query.probe_keys, row_bytes=query.row_bytes
+            ).items()
+        }
+
     def plans_for(self, query) -> dict[str, PlanNode]:
         """Plan-provider hook: forced plans for any known query template.
 
         Scenarios use this to stay agnostic of the template; subclasses
-        hosting new templates (joins, aggregations, ...) extend the
-        dispatch by overriding.
+        hosting new templates (aggregations, ...) extend the dispatch by
+        overriding.
         """
         if isinstance(query, TwoPredicateQuery):
             return self.two_predicate_plans(query)
         if isinstance(query, SinglePredicateQuery):
             return self.single_predicate_plans(query)
+        if isinstance(query, JoinQuery):
+            return self.join_plans(query)
         raise PlanError(
             f"system {self.name} has no plans for query template "
             f"{type(query).__name__}"

@@ -29,6 +29,23 @@ def _exponents(targets: np.ndarray) -> np.ndarray:
     return np.log2(np.asarray(targets, dtype=float))
 
 
+def _heatmap_labels(mapdata: MapData) -> tuple[str, str]:
+    """Axis labels for a 2-D map: predicate columns or axis names.
+
+    Selectivity maps carry their predicate columns in meta; other
+    scenarios (joins, sort spills, ...) label by their axis names.
+    """
+    if "a_column" in mapdata.meta or "b_column" in mapdata.meta:
+        return (
+            f"selectivity {mapdata.meta.get('a_column', 'A')}",
+            f"selectivity {mapdata.meta.get('b_column', 'B')}",
+        )
+    axes = mapdata.axes or []
+    if len(axes) >= 2:
+        return axes[0].name, axes[1].name
+    return "selectivity A", "selectivity B"
+
+
 def absolute_curves(
     mapdata: MapData,
     title: str,
@@ -79,14 +96,15 @@ def absolute_heatmap(
 ) -> str:
     """Fig 4 / Fig 5 style: one plan's absolute cost over a 2-D grid."""
     grid = _require_2d(mapdata).times_for(plan_id)
+    x_label, y_label = _heatmap_labels(mapdata)
     svg = heatmap_svg(
         grid,
         scale,
         title,
         _exponents(mapdata.x_achieved),
         _exponents(mapdata.y_achieved),
-        x_label=f"selectivity {mapdata.meta.get('a_column', 'A')}",
-        y_label=f"selectivity {mapdata.meta.get('b_column', 'B')}",
+        x_label=x_label,
+        y_label=y_label,
     )
     if path is not None:
         Path(path).write_text(svg)
@@ -105,14 +123,15 @@ def relative_heatmap(
     mapdata = _require_2d(mapdata)
     quotient = quotient_for(mapdata, plan_id, baseline_ids)
     grid = np.where(np.isinf(quotient), np.nan, quotient)
+    x_label, y_label = _heatmap_labels(mapdata)
     svg = heatmap_svg(
         grid,
         scale,
         title,
         _exponents(mapdata.x_achieved),
         _exponents(mapdata.y_achieved),
-        x_label=f"selectivity {mapdata.meta.get('a_column', 'A')}",
-        y_label=f"selectivity {mapdata.meta.get('b_column', 'B')}",
+        x_label=x_label,
+        y_label=y_label,
     )
     if path is not None:
         Path(path).write_text(svg)

@@ -14,7 +14,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.lineitem import LineitemConfig, build_lineitem
 from repro.workloads.selectivity import PredicateBuilder, achieved_selectivity
-from repro.workloads.queries import SinglePredicateQuery, TwoPredicateQuery
+from repro.workloads.queries import JoinQuery, SinglePredicateQuery, TwoPredicateQuery
 
 __all__ = [
     "uniform_column",
@@ -27,4 +27,5 @@ __all__ = [
     "achieved_selectivity",
     "SinglePredicateQuery",
     "TwoPredicateQuery",
+    "JoinQuery",
 ]

@@ -138,7 +138,59 @@ def test_cli_scenario_smoke(tmp_path, monkeypatch):
     assert code == 0
     saved = MapData.load(out_dir / "scenario_sort_spill.json")
     assert saved.meta["scenario"] == "sort-spill"
+    # 2-D scenario maps come with Fig 4/5-style heat maps per plan.
+    svgs = sorted(out_dir.glob("scenario_sort_spill_*.svg"))
+    pngs = sorted(out_dir.glob("scenario_sort_spill_*.png"))
+    assert len(svgs) == saved.n_plans and len(pngs) == saved.n_plans
+    assert svgs[0].read_text().lstrip().startswith("<svg")
+    assert pngs[0].read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
     assert main([str(out_dir), "--scenario", "bogus"]) == 2
+
+
+def test_join_map_cached_and_reloaded(tmp_path, capsys):
+    config = tiny_config(tmp_path, join_rows=(64, 128), join_key_domain=256)
+    first = BenchSession(config).scenario_map("join")
+    assert first.grid_shape == (2, 2)
+    assert first.plan_ids == [
+        "join.merge",
+        "join.hash.graceful",
+        "join.hash.all-or-nothing",
+        "join.inl",
+    ]
+    reloaded = BenchSession(config).join_map()  # fresh session, disk cache
+    assert np.array_equal(reloaded.times, first.times, equal_nan=True)
+    assert reloaded.meta == first.meta
+    # Shrinking the grid must invalidate, not reuse, the cache.
+    smaller = tiny_config(tmp_path, join_rows=(64,), join_key_domain=256)
+    assert BenchSession(smaller).join_map().grid_shape == (1, 1)
+
+
+def test_cli_join_scenario_prints_symmetry(tmp_path, monkeypatch):
+    from repro.bench.cli import main
+
+    monkeypatch.setenv("REPRO_BENCH_ROWS", "512")
+    out_dir = tmp_path / "scenarios"
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(cache_dir))
+    import repro.bench.harness as harness_module
+
+    # Shrink the join grid through a patched default config (the CLI
+    # builds BenchConfig from the environment).
+    original = harness_module.BenchConfig
+
+    def small_config(*args, **kwargs):
+        kwargs.setdefault("join_rows", (64, 128))
+        kwargs.setdefault("join_key_domain", 256)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(harness_module, "BenchConfig", small_config)
+    monkeypatch.setattr("repro.bench.cli.BenchConfig", small_config)
+    code = main([str(out_dir), "--scenario", "join"])
+    assert code == 0
+    saved = MapData.load(out_dir / "scenario_join.json")
+    assert saved.meta["scenario"] == "join"
+    assert len(list(out_dir.glob("scenario_join_*.svg"))) == 4
+    assert len(list(out_dir.glob("scenario_join_*.png"))) == 4
 
 
 def test_corrupt_fingerprint_triggers_recompute(tmp_path):

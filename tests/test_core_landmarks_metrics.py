@@ -52,6 +52,36 @@ def test_flattening_violation_detected():
     assert landmarks[0].kind == "flattening"
 
 
+def test_flattening_dip_then_spike_detected():
+    """A marginal cost that goes negative then jumps must be reported.
+
+    The old ``slopes[i-1] <= 0: continue`` guard skipped these curves
+    entirely: the dip was the monotonicity detector's finding, but the
+    rebound (a derivative increase) went unreported.
+    """
+    ys = np.array([5.0, 1.0, 10.0, 11.0, 12.0])
+    landmarks = flattening_violations(XS, ys)
+    assert landmarks
+    assert landmarks[0].kind == "flattening"
+    assert "flipped sign" in landmarks[0].detail
+
+
+def test_flattening_plateau_staircase_stays_clean():
+    """Page-quantized staircases (plateau then step) are healthy curves."""
+    ys = np.array([1.0, 1.0, 1.2, 1.2, 1.4])
+    assert flattening_violations(XS, ys) == []
+
+
+def test_flattening_dip_with_negligible_rebound_stays_clean():
+    ys = np.array([5.0, 4.0, 4.001, 4.002, 4.003])
+    assert flattening_violations(XS, ys) == []
+
+
+def test_flattening_still_clean_for_monotone_decreasing():
+    ys = np.array([10.0, 8.0, 6.0, 4.0, 2.0])
+    assert flattening_violations(XS, ys) == []
+
+
 def test_discontinuity_detected():
     ys = np.array([1.0, 1.1, 5.0, 5.2, 5.4])
     landmarks = discontinuities(XS, ys, jump_factor=3.0)
@@ -147,6 +177,28 @@ def test_summarize_sorted_by_robustness():
     assert profiles[0].plan_id == "p1"
 
 
+def test_profile_plan_optimal_fraction_respects_baseline():
+    """The optimality mask must use the same baseline as the quotients.
+
+    p0 is best-of-{p0, p1} everywhere, but a plan outside the baseline
+    (p2) is cheaper at the first cell; the old code measured
+    optimal_fraction against *all* plans and reported 0.5.
+    """
+    mapdata = flat_map([[1.0, 1.0], [2.0, 2.0], [0.5, 4.0]])
+    restricted = profile_plan(mapdata, "p0", baseline_ids=["p0", "p1"])
+    assert restricted.optimal_fraction == pytest.approx(1.0)
+    unrestricted = profile_plan(mapdata, "p0")
+    assert unrestricted.optimal_fraction == pytest.approx(0.5)
+
+
+def test_profile_plan_outside_its_baseline():
+    """A plan may be profiled against a baseline that excludes it."""
+    mapdata = flat_map([[1.0, 4.0], [2.0, 2.0]])
+    profile = profile_plan(mapdata, "p0", baseline_ids=["p1"])
+    assert profile.worst_quotient == pytest.approx(2.0)
+    assert profile.optimal_fraction == pytest.approx(0.5)
+
+
 # ---------------------------------------------------------------------------
 # regression
 # ---------------------------------------------------------------------------
@@ -183,6 +235,36 @@ def test_compare_maps_newly_censored_is_regression():
 def test_compare_maps_improvement_tracked():
     before = flat_map([[5.0]])
     after = flat_map([[1.0]])
+    report = compare_maps(before, after, threshold=1.5)
+    assert report.passed
+    assert len(report.improvements) == 1
+
+
+def test_compare_maps_flags_free_before_costly_after():
+    """A cell that cost nothing before and 100s after is a regression.
+
+    The old ``b > 0 and a / b > threshold`` guard silently skipped every
+    ``before == 0`` cell, so such plans passed regression testing.
+    """
+    before = flat_map([[0.0, 1.0]])
+    after = flat_map([[100.0, 1.0]])
+    report = compare_maps(before, after, threshold=1.5)
+    assert not report.passed
+    assert report.findings[0].cell == (0,)
+    assert report.findings[0].factor == float("inf")
+    assert report.worst_factor == float("inf")
+    assert "inf" in str(report.findings[0])
+
+
+def test_compare_maps_zero_to_zero_is_clean():
+    before = flat_map([[0.0, 1.0]])
+    after = flat_map([[0.0, 1.0]])
+    assert compare_maps(before, after, threshold=1.5).passed
+
+
+def test_compare_maps_costly_to_free_is_improvement():
+    before = flat_map([[3.0, 1.0]])
+    after = flat_map([[0.0, 1.0]])
     report = compare_maps(before, after, threshold=1.5)
     assert report.passed
     assert len(report.improvements) == 1

@@ -16,8 +16,10 @@ from repro.core.mapdata import MapAxis, MapData
 from repro.core.parameter_space import Axis, Space1D, Space2D
 from repro.core.runner import Jitter, RobustnessSweep
 from repro.core.parallel import ParallelSweep
+from repro.core.landmarks import symmetry_score
 from repro.core.scenario import (
     SCENARIO_TYPES,
+    JoinScenario,
     MemorySweepScenario,
     OperatorBench,
     ScenarioSpec,
@@ -185,6 +187,99 @@ def test_scenario_partial_cells_merge(system_a):
 
 
 # ---------------------------------------------------------------------------
+# the join scenario (Figs 4-5): identity, landmark, golden, edge cases
+# ---------------------------------------------------------------------------
+
+JOIN_ROWS = [128, 256, 512]
+
+
+def tiny_join_scenario() -> JoinScenario:
+    return JoinScenario(
+        OperatorBench(), JOIN_ROWS, JOIN_ROWS, row_bytes=16, key_domain=1 << 12
+    )
+
+
+def test_join_serial_parallel_bit_identical():
+    scenario = tiny_join_scenario()
+    serial = RobustnessSweep(
+        scenario.providers(), memory_bytes=8192
+    ).sweep(scenario)
+    assert serial.times.shape == (4, len(JOIN_ROWS), len(JOIN_ROWS))
+    assert [axis.name for axis in serial.axes] == ["build_rows", "probe_rows"]
+    engine = ParallelSweep(
+        operator_bench_factory, memory_bytes=8192, n_workers=2, chunk_cells=4
+    )
+    parallel = engine.sweep(scenario.spec())
+    assert_identical(parallel, serial)
+
+
+def test_join_matches_golden_fixture():
+    """Bit-identity against the measured map this PR recorded."""
+    golden = MapData.load(DATA_DIR / "golden_join.json")
+    scenario = JoinScenario(
+        OperatorBench(), JOIN_ROWS, JOIN_ROWS, row_bytes=16,
+        key_domain=1 << 12, seed=2009,
+    )
+    mapdata = scenario.run(memory_bytes=8192)
+    assert_identical(mapdata, golden)
+
+
+def test_join_symmetry_landmark():
+    """Merge join's map is symmetric; hash joins' maps are not (Fig 5)."""
+    mapdata = tiny_join_scenario().run(memory_bytes=4096)
+    merge_sym = symmetry_score(mapdata.times_for("join.merge"))
+    hash_sym = symmetry_score(mapdata.times_for("join.hash.graceful"))
+    assert merge_sym < 0.02
+    assert hash_sym > max(0.02, merge_sym)
+
+
+def test_join_scenario_handles_empty_inputs():
+    scenario = JoinScenario(
+        OperatorBench(), [0, 64], [0, 64], row_bytes=16, key_domain=256
+    )
+    mapdata = scenario.run(memory_bytes=4096)
+    assert mapdata.rows[0, 0] == 0
+    assert mapdata.rows[0, 1] == 0  # empty build x non-empty probe
+    assert mapdata.rows[1, 0] == 0
+    assert not mapdata.aborted.any()
+
+
+def test_join_spec_round_trip_2d_and_3d(system_a):
+    flat = tiny_join_scenario()
+    spec = flat.spec()
+    assert spec.grid_shape == (3, 3)
+    rebuilt = build_scenario(spec, [OperatorBench()])
+    assert isinstance(rebuilt, JoinScenario)
+    assert_identical(
+        RobustnessSweep(rebuilt.providers(), memory_bytes=8192).sweep(rebuilt),
+        RobustnessSweep(flat.providers(), memory_bytes=8192).sweep(flat),
+    )
+    # A systems factory may back the spec: it wraps its own bench.
+    foreign = build_scenario(spec, [system_a])
+    assert isinstance(foreign.provider, OperatorBench)
+
+    cube = JoinScenario(
+        OperatorBench(), [64, 128], [64, 128],
+        memory_targets=[2048, 65536], key_domain=256,
+    )
+    assert cube.spec().grid_shape == (2, 2, 2)
+    mapdata = cube.run()
+    assert mapdata.times.shape == (4, 2, 2, 2)
+    assert [axis.name for axis in mapdata.axes] == [
+        "build_rows", "probe_rows", "memory_bytes",
+    ]
+    # The per-cell memory knob must matter for the spilling hash join.
+    starved = mapdata.times_for("join.hash.all-or-nothing")[1, :, 0]
+    roomy = mapdata.times_for("join.hash.all-or-nothing")[1, :, 1]
+    assert np.all(starved > roomy)
+
+
+def test_join_baseline_seconds_positive():
+    scenario = tiny_join_scenario()
+    assert scenario.baseline_seconds() > 0
+
+
+# ---------------------------------------------------------------------------
 # specs and the registry
 # ---------------------------------------------------------------------------
 
@@ -195,6 +290,7 @@ def test_registry_contains_all_scenarios():
         "two-predicate",
         "sort-spill",
         "memory-sweep",
+        "join",
     } <= set(SCENARIO_TYPES)
 
 

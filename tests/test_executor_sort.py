@@ -76,6 +76,40 @@ def test_sort_rejects_bad_row_bytes(env):
         ExternalSort(ExecContext(env), row_bytes=0)
 
 
+def test_spill_path_holds_a_memory_grant(env, rng):
+    """Spilling sorts must account for their workspace like in-memory ones.
+
+    The old spill path never took a broker grant for its ``memory_rows``
+    workspace, so a spilling sort looked memory-free to any concurrent
+    accounting.  Observe the broker at the moment runs are written.
+    """
+    memory_bytes = 8 * 100
+    ctx = ctx_with_memory(env, memory_bytes)
+    in_use_at_spill = []
+    original_write_run = ctx.temp.write_run
+
+    def spying_write_run(n_rows, row_bytes):
+        in_use_at_spill.append(ctx.broker.in_use_bytes)
+        return original_write_run(n_rows, row_bytes)
+
+    ctx.temp.write_run = spying_write_run
+    values = rng.integers(0, 1 << 30, 1000)
+    result = ExternalSort(ctx, policy=SpillPolicy.GRACEFUL).sort(values)
+    assert result.spilled
+    assert in_use_at_spill  # the spill path ran
+    assert all(used > 0 for used in in_use_at_spill)
+    assert ctx.broker.in_use_bytes == 0  # and released afterwards
+
+
+def test_spill_grant_survives_tiny_memory(env, rng):
+    """The max(2, ...) row clamp must not over-grant past the limit."""
+    ctx = ctx_with_memory(env, 8)  # room for a single 8-byte row
+    values = rng.integers(0, 1 << 30, 64)
+    result = ExternalSort(ctx, policy=SpillPolicy.ALL_OR_NOTHING).sort(values)
+    assert np.array_equal(result.values, np.sort(values))
+    assert ctx.broker.in_use_bytes == 0
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     st.lists(st.integers(0, 1 << 30), max_size=500),
