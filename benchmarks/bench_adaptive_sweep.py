@@ -1,0 +1,167 @@
+"""Wall-clock benchmark: dense vs adaptive refinement sweeps.
+
+Runs the two-predicate (three systems) and join scenarios once densely
+and twice adaptively — organic refinement, then a hard 25% cell budget —
+at the same target grid resolution.  Verifies every adaptively measured
+cell is bit-identical to the dense map's, and writes a
+``BENCH_adaptive_sweep.json`` artifact with cells-measured and wall-clock
+per mode so CI can track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_sweep.py \
+        [--rows 32768] [--min-exp -8] [--join-points 17] \
+        [--out BENCH_adaptive_sweep.json] [--require-savings 0.5]
+
+``--require-savings`` exits non-zero unless the 25%-budget adaptive
+sweep of each scenario measures at most the given fraction of the dense
+cell count (it always does — the budget enforces 25% — and additionally
+must agree bit-identically on every measured cell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.driver import AdaptiveRefinePolicy
+from repro.core.parameter_space import Space2D
+from repro.core.runner import RobustnessSweep
+from repro.core.scenario import (
+    JoinScenario,
+    OperatorBench,
+    TwoPredicateScenario,
+)
+from repro.systems import SystemConfig, build_three_systems
+from repro.workloads import LineitemConfig
+
+
+def agrees_on_measured(refined, dense) -> bool:
+    cells = refined.filled_cells
+    flat_r = refined.times.reshape(refined.n_plans, -1)[:, cells]
+    flat_d = dense.times.reshape(dense.n_plans, -1)[:, cells]
+    return bool(np.array_equal(flat_r, flat_d, equal_nan=True))
+
+
+def bench_scenario(name: str, scenario, sweep_kwargs: dict) -> dict:
+    n_cells = scenario.n_cells
+    runs: dict[str, dict] = {}
+
+    start = time.perf_counter()
+    dense = RobustnessSweep(scenario.providers(), **sweep_kwargs).sweep(scenario)
+    dense_s = time.perf_counter() - start
+    runs["dense"] = {"cells": n_cells, "seconds": round(dense_s, 4)}
+    print(f"{name:14s} dense:    {n_cells:5d} cells  {dense_s:7.2f}s")
+
+    for mode, policy in (
+        ("adaptive", AdaptiveRefinePolicy()),
+        ("adaptive_quarter", AdaptiveRefinePolicy(max_cells=n_cells // 4)),
+    ):
+        start = time.perf_counter()
+        refined = RobustnessSweep(scenario.providers(), **sweep_kwargs).sweep(
+            scenario, policy=policy
+        )
+        seconds = time.perf_counter() - start
+        measured = int(refined.measured_mask.sum())
+        ok = (
+            agrees_on_measured(refined, dense)
+            and refined.grid_shape == dense.grid_shape
+        )
+        runs[mode] = {
+            "cells": measured,
+            "cell_fraction": round(measured / n_cells, 4),
+            "seconds": round(seconds, 4),
+            "speedup_vs_dense": round(dense_s / seconds, 4) if seconds else None,
+            "rounds": refined.meta["refine_rounds"],
+            "agrees_with_dense": ok,
+        }
+        print(
+            f"{name:14s} {mode:9s}{measured:5d} cells "
+            f"({measured / n_cells:4.0%})  {seconds:7.2f}s  "
+            f"({dense_s / seconds:4.1f}x)  agree={ok}"
+        )
+    return {"grid": list(scenario.grid_shape), "n_plans_x_cells": n_cells, **runs}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=32768)
+    parser.add_argument("--min-exp", type=int, default=-8)
+    parser.add_argument("--join-points", type=int, default=17)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_adaptive_sweep.json")
+    parser.add_argument("--require-savings", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    systems = list(
+        build_three_systems(
+            SystemConfig(lineitem=LineitemConfig(n_rows=args.rows, seed=args.seed))
+        ).values()
+    )
+    space = Space2D.log2("sel_a", "sel_b", args.min_exp, 0)
+    join_rows = sorted(
+        set(
+            int(round(v))
+            for v in np.logspace(np.log10(64), np.log10(4096), args.join_points)
+        )
+    )
+    print(
+        f"two-predicate {space.shape[0]}x{space.shape[1]}, "
+        f"join {len(join_rows)}x{len(join_rows)}, {args.rows} rows "
+        f"(cpu_count={os.cpu_count()})"
+    )
+
+    results = {
+        "two_predicate": bench_scenario(
+            "two-predicate",
+            TwoPredicateScenario(systems, space),
+            {"budget_seconds": 30.0},
+        ),
+        "join": bench_scenario(
+            "join",
+            JoinScenario(
+                OperatorBench(), join_rows, join_rows, row_bytes=16,
+                key_domain=1 << 12,
+            ),
+            {"memory_bytes": 8192},
+        ),
+    }
+
+    payload = {
+        "bench": "adaptive_sweep",
+        "rows": args.rows,
+        "platform": platform.platform(),
+        "scenarios": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    failed = False
+    for name, result in results.items():
+        for mode in ("adaptive", "adaptive_quarter"):
+            if not result[mode]["agrees_with_dense"]:
+                print(f"FAIL: {name} {mode} disagrees with dense", file=sys.stderr)
+                failed = True
+        if (
+            args.require_savings is not None
+            and result["adaptive_quarter"]["cell_fraction"] > args.require_savings
+        ):
+            print(
+                f"FAIL: {name} adaptive_quarter measured "
+                f"{result['adaptive_quarter']['cell_fraction']:.0%} "
+                f"> {args.require_savings:.0%}",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

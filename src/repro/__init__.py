@@ -71,6 +71,11 @@ from repro.core import (
     Jitter,
     ParallelSweep,
     PlanIdFilter,
+    CellPolicy,
+    DenseGridPolicy,
+    AdaptiveRefinePolicy,
+    SweepDriver,
+    ProgressEvent,
     best_times,
     relative_to_best,
     quotient_for,
@@ -132,6 +137,11 @@ __all__ = [
     "Jitter",
     "ParallelSweep",
     "PlanIdFilter",
+    "CellPolicy",
+    "DenseGridPolicy",
+    "AdaptiveRefinePolicy",
+    "SweepDriver",
+    "ProgressEvent",
     "best_times",
     "relative_to_best",
     "quotient_for",

@@ -3,7 +3,7 @@
 Usage::
 
     repro-figures [output_dir] [--figures fig01,fig07] [--rows 65536]
-                  [--workers 4] [--progress]
+                  [--workers 4] [--progress] [--refine] [--max-cells 100]
     repro-figures [output_dir] --scenario sort_spill,memory_sweep
 
 Figure mode writes SVG/PNG artifacts, prints the paper-vs-measured claim
@@ -12,7 +12,13 @@ gate).  Scenario mode sweeps the named registered scenarios (see
 ``BenchSession.SCENARIO_MAPS``) and writes each measured ``MapData`` as
 ``scenario_<name>.json`` plus a text summary.  ``--workers`` fans the
 sweeps out over worker processes (bit-identical to the serial default);
-``--progress`` streams per-cell/per-chunk status with an ETA to stderr.
+``--progress`` streams per-cell/per-chunk/per-round status with an ETA
+to stderr (structured :class:`~repro.core.progress.ProgressEvent`
+objects, rendered one per line).  ``--refine`` sweeps adaptively — a
+coarse grid refined where the map shows cliffs, crossovers, or censored
+cells — and ``--max-cells`` caps the refinement's measurement budget per
+sweep; refined maps measure the same values as dense maps on every cell
+they share, and the summary reports the measured-cell coverage.
 """
 
 from __future__ import annotations
@@ -21,7 +27,6 @@ import argparse
 import os
 import re
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -30,6 +35,7 @@ from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import BenchConfig, BenchSession
 from repro.bench.report import format_claims
 from repro.core.landmarks import symmetry_score
+from repro.core.progress import ProgressEvent
 from repro.errors import ExperimentError
 from repro.viz.colormap import ABSOLUTE_TIME_SCALE
 from repro.viz.figures import absolute_heatmap, heatmap_png_pixels
@@ -37,27 +43,16 @@ from repro.viz.png import encode_png
 
 
 class _ProgressPrinter:
-    """Streams sweep progress lines to stderr with elapsed/ETA."""
+    """Streams sweep :class:`ProgressEvent` lines to stderr.
 
-    def __init__(self) -> None:
-        self.start = time.monotonic()
-        self.n_lines = 0
+    Events carry scenario, done/total, elapsed, and ETA as typed fields
+    (no string sniffing); ``event.render()`` keeps the familiar
+    per-cell / per-chunk line shapes and adds per-round lines under
+    ``--refine``.
+    """
 
-    def __call__(self, message: str) -> None:
-        self.n_lines += 1
-        elapsed = time.monotonic() - self.start
-        # Parallel chunks carry their own ETA; annotate serial per-cell
-        # messages ("cell k/n ...") with one derived from the cell rate.
-        if "eta" not in message and "/" in message:
-            try:
-                done, total = message.split("cell", 1)[1].split()[0].split("/")
-                done_i, total_i = int(done), int(total)
-                if done_i:
-                    eta = elapsed / done_i * (total_i - done_i)
-                    message = f"{message} [elapsed {elapsed:.1f}s, eta {eta:.1f}s]"
-            except (ValueError, IndexError):
-                pass
-        print(f"  {message}", file=sys.stderr, flush=True)
+    def __call__(self, event: ProgressEvent) -> None:
+        print(f"  {event.render()}", file=sys.stderr, flush=True)
 
 
 def _scenario_heatmaps(mapdata, name: str, out_dir: Path) -> list[Path]:
@@ -109,6 +104,15 @@ def _run_scenarios(
             and mapdata.grid_shape[0] == mapdata.grid_shape[1]
         )
         print(f"scenario {name}: grid {axes}, {mapdata.n_plans} plans")
+        measured = mapdata.meta.get("measured_cells")
+        if measured is not None:
+            n_cells = int(np.prod(mapdata.grid_shape))
+            print(
+                f"  refined: measured {len(measured)}/{n_cells} cells "
+                f"({len(measured) / n_cells:.0%}) in "
+                f"{mapdata.meta.get('refine_rounds', '?')} rounds; "
+                "unmeasured cells interpolated"
+            )
         for plan_id in mapdata.plan_ids:
             times = mapdata.times_for(plan_id)
             censored = int(np.isnan(times).sum())
@@ -121,7 +125,10 @@ def _run_scenarios(
             note = f" ({censored} censored)" if censored else ""
             if wants_symmetry:
                 try:
-                    note += f" [symmetry {symmetry_score(times):.4f}]"
+                    # Measured cells only: an interpolated fill pattern
+                    # would skew the landmark on refined maps.
+                    score = symmetry_score(mapdata.measured_times(plan_id))
+                    note += f" [symmetry {score:.4f}]"
                 except ExperimentError:
                     # Censoring can leave no cell finite in both
                     # orientations; the sweep results still matter.
@@ -158,6 +165,20 @@ def main(argv: list[str] | None = None) -> int:
         help="stream sweep progress with ETA to stderr",
     )
     parser.add_argument(
+        "--refine",
+        action="store_true",
+        help="sweep adaptively: refine a coarse grid where the map shows "
+        "cliffs, plan crossovers, or censored cells (measured cells are "
+        "bit-identical to the dense sweep's)",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="refinement cell budget per sweep (with --refine; "
+        "default: refine until no box is interesting)",
+    )
+    parser.add_argument(
         "--scenario",
         default=None,
         help="comma-separated scenario names (runs scenario sweeps "
@@ -169,6 +190,10 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_BENCH_ROWS"] = str(args.rows)
     if args.workers is not None:
         os.environ["REPRO_BENCH_WORKERS"] = str(args.workers)
+    if args.refine:
+        os.environ["REPRO_BENCH_REFINE"] = "1"
+    if args.max_cells is not None:
+        os.environ["REPRO_BENCH_MAX_CELLS"] = str(args.max_cells)
     progress = _ProgressPrinter() if args.progress else None
     session = BenchSession(BenchConfig(), progress=progress)
     if args.scenario is not None:

@@ -11,11 +11,18 @@ Scale knobs (environment variables, so CI can dial them):
   (default: no disk cache).
 * ``REPRO_BENCH_WORKERS``  — sweep worker processes (default 0: serial;
   the parallel path is bit-identical, so this is purely a speed knob).
+* ``REPRO_BENCH_REFINE``   — non-empty/non-zero runs every sweep under
+  the adaptive refinement policy (coarse-to-fine, cliffs first).
+* ``REPRO_BENCH_MAX_CELLS`` — refinement cell budget (0: organic, stop
+  when no box is interesting any more).
 
 Disk-cache entries are keyed on a fingerprint of the *full* config —
 changing any knob that shapes the map (grid exponents, budget, memory,
-pool pages, ...) gets a fresh cache file instead of silently reusing a
-stale, wrong-shape map.  Files are additionally validated at load time.
+pool pages, refinement policy, ...) gets a fresh cache file instead of
+silently reusing a stale, wrong-shape map.  Files are additionally
+validated at load time; refined maps are cached raw (sparse) and
+densified on the way out, so renderers and analyses see full grids while
+``meta["measured_cells"]`` keeps the coverage honest.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import os
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
+from repro.core.driver import AdaptiveRefinePolicy, CellPolicy
 from repro.core.mapdata import MapData
 from repro.core.parallel import ParallelSweep
 from repro.core.parameter_space import Space1D, Space2D
@@ -33,7 +41,9 @@ from repro.core.scenario import (
     JoinScenario,
     MemorySweepScenario,
     OperatorBench,
+    SinglePredicateScenario,
     SortSpillScenario,
+    TwoPredicateScenario,
     operator_bench_factory,
 )
 from repro.errors import ExperimentError
@@ -84,6 +94,18 @@ class BenchConfig:
 
     join_key_domain: int = 1 << 16
     """Join key domain (controls match density and output sizes)."""
+
+    refine: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_BENCH_REFINE", "")
+        not in ("", "0")
+    )
+    """Sweep adaptively (coarse-to-fine refinement) instead of densely."""
+
+    refine_max_cells: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_MAX_CELLS", 0)
+    )
+    """Refinement cell budget per sweep (0: refine until nothing is
+    interesting; the budget spends itself cliffs-first)."""
 
     n_workers: int = field(
         default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
@@ -206,10 +228,20 @@ class BenchSession:
         return (n, n)
 
     def _cache_valid(self, mapdata: MapData, key: str) -> bool:
+        """Fingerprint, shape, and *policy* must all match the config.
+
+        A refined (sparse) map must never satisfy a dense config and
+        vice versa, even though both carry the same grid shape — the
+        policy name in meta is part of the cache contract.
+        """
+        expected_policy = (
+            AdaptiveRefinePolicy.name if self.config.refine else None
+        )
         return (
             mapdata.meta.get("config_fingerprint") == self.config.fingerprint()
             and mapdata.grid_shape == self._grid_shape(key)
-            and not mapdata.is_partial
+            and mapdata.meta.get("policy") == expected_policy
+            and (self.config.refine or not mapdata.is_partial)
         )
 
     def _cached(self, key: str, compute) -> MapData:
@@ -225,9 +257,21 @@ class BenchSession:
             mapdata = compute()
             mapdata.meta["config_fingerprint"] = self.config.fingerprint()
             if path is not None:
-                mapdata.save(path)
+                mapdata.save(path)  # refined maps are cached raw (sparse)
+        if mapdata.is_partial:
+            # Renderers and analyses see the full-grid interpolation
+            # view; meta["measured_cells"] keeps the coverage honest.
+            mapdata = mapdata.densify()
         self._maps[key] = mapdata
         return mapdata
+
+    def _policy(self) -> CellPolicy | None:
+        """A fresh cell policy per sweep (policies carry wave state)."""
+        if not self.config.refine:
+            return None
+        return AdaptiveRefinePolicy(
+            max_cells=self.config.refine_max_cells or None
+        )
 
     def _wants_parallel(self) -> bool:
         """True when n_workers asks for workers (-1 means all cores)."""
@@ -254,14 +298,16 @@ class BenchSession:
                 from functools import partial
 
                 engine = self._sweep_engine(partial(_session_system_a, config))
-                return engine.sweep_single_predicate(space)
+                spec = SinglePredicateScenario.build_spec(space)
+                return engine.sweep(spec, policy=self._policy())
             sweep = RobustnessSweep(
                 [self.system_a],
                 budget_seconds=self.budget(),
                 memory_bytes=config.memory_bytes,
-                progress=self.progress or (lambda message: None),
+                progress=self.progress or (lambda event: None),
             )
-            return sweep.sweep_single_predicate(space)
+            scenario = SinglePredicateScenario([self.system_a], space)
+            return sweep.sweep(scenario, policy=self._policy())
 
         return self._cached("single_predicate", compute)
 
@@ -280,15 +326,17 @@ class BenchSession:
                 engine = self._sweep_engine(
                     partial(_session_systems, config), jitter=noise
                 )
-                return engine.sweep_two_predicate(space)
+                spec = TwoPredicateScenario.build_spec(space.x, space.y)
+                return engine.sweep(spec, policy=self._policy())
             sweep = RobustnessSweep(
                 list(self.systems.values()),
                 budget_seconds=self.budget(),
                 memory_bytes=config.memory_bytes,
                 jitter=noise,
-                progress=self.progress or (lambda message: None),
+                progress=self.progress or (lambda event: None),
             )
-            return sweep.sweep_two_predicate(space)
+            scenario = TwoPredicateScenario(list(self.systems.values()), space)
+            return sweep.sweep(scenario, policy=self._policy())
 
         key = "two_predicate" + ("" if jitter else "_nojitter")
         return self._cached(key, compute)
@@ -319,10 +367,11 @@ class BenchSession:
                     n_workers=config.n_workers,
                     progress=self.progress,
                 )
-                return engine.sweep(scenario.spec())
+                return engine.sweep(scenario.spec(), policy=self._policy())
             return scenario.run(
                 budget_seconds=budget,
-                progress=self.progress or (lambda message: None),
+                policy=self._policy(),
+                progress=self.progress or (lambda event: None),
             )
 
         return self._cached("scenario_sort_spill", compute)
@@ -338,14 +387,15 @@ class BenchSession:
 
                 engine = self._sweep_engine(partial(_session_system_a, config))
                 spec = MemorySweepScenario.build_spec(space, config.memory_axis)
-                return engine.sweep(spec)
+                return engine.sweep(spec, policy=self._policy())
             scenario = MemorySweepScenario(
                 [self.system_a], space, config.memory_axis
             )
             return scenario.run(
                 budget_seconds=self.budget(),
                 memory_bytes=config.memory_bytes,
-                progress=self.progress or (lambda message: None),
+                policy=self._policy(),
+                progress=self.progress or (lambda event: None),
             )
 
         return self._cached("scenario_memory_sweep", compute)
@@ -379,11 +429,12 @@ class BenchSession:
                     n_workers=config.n_workers,
                     progress=self.progress,
                 )
-                return engine.sweep(scenario.spec())
+                return engine.sweep(scenario.spec(), policy=self._policy())
             return scenario.run(
                 budget_seconds=budget,
                 memory_bytes=config.join_memory_bytes,
-                progress=self.progress or (lambda message: None),
+                policy=self._policy(),
+                progress=self.progress or (lambda event: None),
             )
 
         return self._cached("scenario_join", compute)

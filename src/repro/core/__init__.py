@@ -7,6 +7,9 @@ families and the quantitative machinery around them:
 * :mod:`mapdata` — the measured cost cube (plan x N-D grid), serializable.
 * :mod:`scenario` — pluggable sweep scenarios (selectivity, memory,
   data size, ...) behind one Scenario abstraction + registry.
+* :mod:`driver` — wave-based sweep driver + cell policies (dense grid,
+  adaptive coarse-to-fine refinement).
+* :mod:`progress` — structured :class:`ProgressEvent` sweep reporting.
 * :mod:`runner` — sweeps any scenario's forced plans under cold caches.
 * :mod:`parallel` — chunked multi-process sweeps, bit-identical to serial.
 * :mod:`maps` — absolute maps and performance relative to the best plan.
@@ -36,6 +39,14 @@ from repro.core.scenario import (
     register_scenario,
     SCENARIO_TYPES,
 )
+from repro.core.driver import (
+    AdaptiveRefinePolicy,
+    CellPolicy,
+    DenseGridPolicy,
+    SweepDriver,
+    SweepState,
+)
+from repro.core.progress import ProgressEvent
 from repro.core.runner import RobustnessSweep, Jitter
 from repro.core.parallel import ParallelSweep, PlanIdFilter, partition_cells
 from repro.core.maps import best_times, relative_to_best, quotient_for
@@ -82,6 +93,12 @@ __all__ = [
     "ParallelSweep",
     "PlanIdFilter",
     "partition_cells",
+    "CellPolicy",
+    "DenseGridPolicy",
+    "AdaptiveRefinePolicy",
+    "SweepDriver",
+    "SweepState",
+    "ProgressEvent",
     "best_times",
     "relative_to_best",
     "quotient_for",

@@ -14,7 +14,11 @@ unchanged.
 
 A MapData may be *partial*: ``meta["cells"]`` lists the flat grid indices
 that were actually measured.  Partial maps come out of chunked parallel
-sweeps and are recombined with :meth:`MapData.merge`.
+sweeps (recombined with :meth:`MapData.merge`) and out of adaptive
+refinement sweeps, where unmeasured plateau cells are a final state, not
+an intermediate one — :attr:`measured_mask` exposes the coverage and
+:meth:`densify` produces the full-grid interpolation view the analysis
+modules and renderers consume unchanged.
 """
 
 from __future__ import annotations
@@ -27,6 +31,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ExperimentError
+
+#: Entries (cells x measured points) per densify() distance block; keeps
+#: peak memory bounded on large grids.  Module-level so tests can shrink
+#: it to exercise the block boundaries on small maps.
+DENSIFY_BLOCK_ENTRIES = 1 << 21
 
 
 def _encode_nan(array: np.ndarray | None):
@@ -254,14 +263,120 @@ class MapData:
     def is_partial(self) -> bool:
         return "cells" in self.meta
 
+    @property
+    def measured_mask(self) -> np.ndarray:
+        """Bool grid: True where the cell was actually *measured*.
+
+        Unlike :attr:`filled_cells` (cells holding data), this stays
+        honest across :meth:`densify`: interpolated cells hold data but
+        were never measured, and ``meta["measured_cells"]`` remembers so.
+        """
+        cells = self.meta.get("measured_cells")
+        mask = np.zeros(self.grid_shape, dtype=bool)
+        if cells is None:
+            mask.reshape(-1)[self.filled_cells] = True
+        else:
+            mask.reshape(-1)[np.asarray(sorted(cells), dtype=np.int64)] = True
+        return mask
+
+    def measured_times(self, plan_id: str) -> np.ndarray:
+        """One plan's cost surface restricted to measured cells.
+
+        Interpolated (densified) or never-measured cells are NaN.  On a
+        fully measured map this equals :meth:`times_for` exactly, so
+        analyses that must not see interpolated values — e.g. the
+        symmetry landmark, which an asymmetric fill pattern would skew —
+        can use it unconditionally.
+        """
+        times = self.times_for(plan_id).copy()
+        if self.is_partial or "measured_cells" in self.meta:
+            times[~self.measured_mask] = np.nan
+        return times
+
+    def densify(self) -> "MapData":
+        """Full-grid view of a partial map: nearest-measured-cell fill.
+
+        Every unmeasured cell copies times, aborted flags, and rows from
+        its nearest measured cell in index space.  Nearest-neighbor (not
+        linear) interpolation is deliberate: adaptive refinement leaves
+        cells unmeasured exactly where the map is flat, a censored
+        neighbor stays censored instead of averaging into a fake finite
+        cost, and measured cells pass through bit-identical.  Distance
+        ties break on the candidate's sorted coordinate tuple first, so
+        the fill of a symmetric measurement set is itself symmetric (the
+        merge-join symmetry landmark survives densification), then on
+        flat index — fully deterministic.
+
+        The result is complete (no ``meta["cells"]``); the original
+        coverage is preserved in ``meta["measured_cells"]`` and
+        ``meta["densified"] = True``.  Complete maps return themselves.
+        """
+        if not self.is_partial:
+            return self
+        measured = self.filled_cells
+        if measured.size == 0:
+            raise ExperimentError("cannot densify a map with no measured cells")
+        shape = self.grid_shape
+        n_cells = int(np.prod(shape))
+        all_coords = np.stack(
+            np.unravel_index(np.arange(n_cells), shape), axis=1
+        )
+        meas_coords = all_coords[measured]
+        # Composite integer key (distance, sorted coords, rank): strictly
+        # ordered, overflow-safe for any grid this repo sweeps.
+        sorted_coords = np.sort(meas_coords, axis=1)
+        weights = np.array(
+            [max(shape) ** i for i in range(len(shape))], dtype=np.int64
+        )
+        coord_key = sorted_coords @ weights[::-1]
+        coord_span = int(coord_key.max()) + 1
+        rank = np.arange(measured.size, dtype=np.int64)
+        # Chunk the distance matrix so peak memory stays O(block x k)
+        # instead of O(n_cells x k) — a 64x64 grid with thousands of
+        # measured cells would otherwise allocate hundreds of MB.
+        block = max(1, DENSIFY_BLOCK_ENTRIES // max(1, measured.size))
+        nearest = np.empty(n_cells, dtype=np.int64)
+        for lo in range(0, n_cells, block):
+            coords = all_coords[lo : lo + block]
+            deltas = coords[:, None, :] - meas_coords[None, :, :]
+            dist2 = np.einsum("nkd,nkd->nk", deltas, deltas)
+            key = (
+                dist2.astype(np.int64) * coord_span + coord_key[None, :]
+            ) * measured.size + rank[None, :]
+            nearest[lo : lo + block] = measured[np.argmin(key, axis=1)]
+        times = self.times.reshape(self.n_plans, -1)[:, nearest].reshape(
+            self.times.shape
+        )
+        aborted = self.aborted.reshape(self.n_plans, -1)[:, nearest].reshape(
+            self.aborted.shape
+        )
+        rows = np.asarray(self.rows).reshape(-1)[nearest].reshape(shape)
+        meta = {k: v for k, v in self.meta.items() if k != "cells"}
+        meta["measured_cells"] = [int(c) for c in measured]
+        meta["densified"] = True
+        return MapData(
+            plan_ids=list(self.plan_ids),
+            times=times,
+            aborted=aborted,
+            rows=rows,
+            meta=meta,
+            axes=list(self.axes or []),
+        )
+
     @classmethod
     def merge(cls, parts: Sequence["MapData"]) -> "MapData":
         """Recombine partial maps (disjoint cell subsets of one grid).
 
         Every part must carry ``meta["cells"]``; the parts must agree on
-        plan ids, grid shape, and axis arrays.  The merged map covers the
-        union of the parts' cells — ``meta["cells"]`` is dropped when the
-        union is the full grid, kept (sorted) otherwise.
+        plan ids, grid shape, and axis arrays.  Cell subsets must be
+        disjoint — **overlapping duplicate cells raise**
+        :class:`ExperimentError` rather than last-write-winning, because
+        a silent overwrite would let a buggy chunking hide measurements
+        (and with deterministic sweeps, a legitimate duplicate cannot
+        carry different data anyway).  Non-contiguous subsets are fine.
+        The merged map covers the union of the parts' cells —
+        ``meta["cells"]`` is dropped when the union is the full grid,
+        kept (sorted) otherwise.
         """
         parts = list(parts)
         if not parts:

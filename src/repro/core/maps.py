@@ -24,7 +24,14 @@ def best_times(mapdata: MapData, plan_ids: list[str] | None = None) -> np.ndarra
     """
     data = mapdata if plan_ids is None else mapdata.subset(plan_ids)
     if np.all(np.isnan(data.times), axis=0).any():
-        raise ExperimentError("some cells have no uncensored measurement")
+        hint = (
+            "; the map is partial — analyze mapdata.densify() instead"
+            if mapdata.is_partial
+            else ""
+        )
+        raise ExperimentError(
+            f"some cells have no uncensored measurement{hint}"
+        )
     return np.nanmin(data.times, axis=0)
 
 

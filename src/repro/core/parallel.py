@@ -1,10 +1,14 @@
 """Parallel, incremental sweep engine.
 
 Robustness maps are embarrassingly parallel: every cell is an independent
-cold-cache measurement on a private virtual clock.  This module partitions
-a scenario's N-D grid into chunks of flat cell indices, fans the chunks
-out over a :class:`~concurrent.futures.ProcessPoolExecutor`, and merges
-the per-chunk partial :class:`MapData` results.
+cold-cache measurement on a private virtual clock.  This module fans
+waves of flat cell indices — proposed by a
+:class:`~repro.core.driver.CellPolicy` through the shared
+:class:`~repro.core.driver.SweepDriver` — out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in chunks, and merges
+the per-chunk partial :class:`MapData` results.  Chunk parts are sorted
+by cell index before merging, so the map is independent of completion
+order *by construction*, not just by luck of scheduling.
 
 Workers dispatch on a picklable :class:`ScenarioSpec` — any registered
 scenario (selectivity sweeps, memory sweeps, sort-spill grids, ...)
@@ -12,12 +16,14 @@ parallelizes through the same engine.  Because each worker rebuilds its
 providers from the same deterministic factory and the jitter digest is
 process-independent, the merged map is **bit-identical** to the serial
 sweep — times, aborted flags, rows, and meta all match, regardless of
-worker count or chunk size.
+worker count, chunk size, or refinement policy.
 
 Workers build their providers once (in the pool initializer) and amortize
-that cost over every chunk they process.  ``n_workers <= 1`` falls back
-to a plain in-process :class:`RobustnessSweep`, so callers can thread a
-single knob through without branching.
+that cost over every chunk of every wave they process — a multi-round
+adaptive refinement reuses the same pool across rounds instead of
+re-spawning per round.  ``n_workers <= 1`` falls back to a plain
+in-process :class:`RobustnessSweep`, so callers can thread a single knob
+through without branching.
 
 The provider ``factory`` and any ``plan_filter`` must be picklable (a
 module-level function or :class:`functools.partial` — use
@@ -33,8 +39,10 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.core.driver import CellPolicy, DenseGridPolicy, SweepDriver
 from repro.core.mapdata import MapData
 from repro.core.parameter_space import Space1D, Space2D
+from repro.core.progress import ProgressEvent
 from repro.core.runner import Jitter, RobustnessSweep
 from repro.core.scenario import ScenarioSpec, build_scenario
 from repro.errors import ExperimentError
@@ -105,8 +113,12 @@ def _worker_scenario(spec: ScenarioSpec):
 
 def _run_chunk(spec: ScenarioSpec, plan_filter, cells: list[int]) -> MapData:
     assert _WORKER_SWEEP is not None, "worker pool not initialized"
-    return _WORKER_SWEEP.sweep(
-        _worker_scenario(spec), plan_filter=plan_filter, cells=cells
+    # One raw measurement pass, not a driver run: the chunk part must
+    # keep meta["cells"] even when a single chunk happens to cover the
+    # whole grid (a driver would normalize that to a complete map and
+    # the parent's merge would reject it).
+    return _WORKER_SWEEP._sweep_cells(
+        _worker_scenario(spec), plan_filter, cells
     )
 
 
@@ -126,8 +138,8 @@ class ParallelSweep:
       ``-1`` uses ``os.cpu_count()``.
     * ``chunk_cells`` — cells per chunk; ``0`` auto-sizes to roughly four
       chunks per worker (load balance without drowning in IPC).
-    * ``progress`` — receives one message per finished chunk with cell
-      counts and an ETA estimate.
+    * ``progress`` — receives one :class:`ProgressEvent` per finished
+      chunk (and per refinement round, under a multi-round policy).
     """
 
     def __init__(
@@ -139,7 +151,7 @@ class ParallelSweep:
         verify_agreement: bool = True,
         n_workers: int = 0,
         chunk_cells: int = 0,
-        progress: Callable[[str], None] | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
     ) -> None:
         self.factory = factory
         self.sweep_kwargs = {
@@ -150,7 +162,7 @@ class ParallelSweep:
         }
         self.n_workers = n_workers
         self.chunk_cells = chunk_cells
-        self.progress = progress or (lambda message: None)
+        self.progress = progress or (lambda event: None)
         self._serial: RobustnessSweep | None = None
 
     # ------------------------------------------------------------------
@@ -182,45 +194,93 @@ class ParallelSweep:
         self,
         spec: ScenarioSpec,
         plan_filter: Callable[[str], bool] | None = None,
+        policy: CellPolicy | None = None,
     ) -> MapData:
-        """Fan a scenario's grid out over workers; bit-identical to serial.
+        """Fan a policy's waves out over workers; bit-identical to serial.
 
         ``spec`` (see :meth:`Scenario.spec`) travels to the workers in
         place of the scenario object itself, which may hold gigabytes of
         table data; each worker rebuilds the scenario from its
-        factory-built providers.
+        factory-built providers.  The worker pool is created once and
+        reused across every wave the ``policy`` proposes (the default
+        dense policy has exactly one wave: the full grid).
         """
         n_cells = spec.n_cells
         workers = self.resolved_workers()
         if workers <= 1 or n_cells < 2:
             sweep = self._serial_sweep()
             scenario = build_scenario(spec, sweep.systems)
-            return sweep.sweep(scenario, plan_filter=plan_filter)
+            return sweep.sweep(scenario, plan_filter=plan_filter, policy=policy)
 
-        chunks = self._chunks(n_cells, workers)
-        parts: list[MapData] = []
-        done_cells = 0
-        start = time.monotonic()
+        if policy is None:
+            policy = DenseGridPolicy()
+        # No wave can produce more chunks than the full grid would, so
+        # don't spawn (initializer-heavy) workers beyond that.
+        if self.chunk_cells > 0:
+            max_chunks = -(-n_cells // self.chunk_cells)
+        else:
+            max_chunks = workers * 4
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
+            max_workers=max(1, min(workers, n_cells, max_chunks)),
             initializer=_init_worker,
             initargs=(self.factory, self.sweep_kwargs),
         ) as pool:
-            futures = {
-                pool.submit(_run_chunk, spec, plan_filter, chunk): chunk
-                for chunk in chunks
-            }
-            for future in as_completed(futures):
-                parts.append(future.result())
-                done_cells += len(futures[future])
-                elapsed = time.monotonic() - start
-                eta = elapsed / done_cells * (n_cells - done_cells)
-                self.progress(
-                    f"{spec.name} sweep: {done_cells}/{n_cells} cells "
-                    f"({len(parts)}/{len(chunks)} chunks, "
-                    f"elapsed {elapsed:.1f}s, eta {eta:.1f}s)"
+            driver = SweepDriver(
+                measure=lambda wave: self._measure_wave(
+                    pool, spec, plan_filter, wave, workers
+                ),
+                shape=spec.grid_shape,
+                policy=policy,
+                scenario=spec.name,
+                progress=self.progress,
+            )
+            return driver.run()
+
+    def _measure_wave(
+        self,
+        pool: ProcessPoolExecutor,
+        spec: ScenarioSpec,
+        plan_filter,
+        wave: list[int],
+        workers: int,
+    ) -> MapData:
+        """Measure one wave: chunk, dispatch, merge order-independently."""
+        if wave:
+            positions = self._chunks(len(wave), workers)
+            chunks = [[wave[i] for i in chunk] for chunk in positions]
+        else:
+            # Degenerate empty sweep: one empty chunk yields the classic
+            # all-NaN partial map, matching the serial path.
+            chunks = [[]]
+        parts: list[MapData] = []
+        done_cells = 0
+        # Elapsed/ETA are per wave (like the serial per-cell loop):
+        # mixing a sweep-global clock with per-wave cell counts would
+        # inflate later refinement rounds' ETAs by the earlier rounds'
+        # runtime.
+        start = time.monotonic()
+        futures = {
+            pool.submit(_run_chunk, spec, plan_filter, chunk): chunk
+            for chunk in chunks
+        }
+        for future in as_completed(futures):
+            parts.append(future.result())
+            done_cells += len(futures[future])
+            self.progress(
+                ProgressEvent(
+                    scenario=spec.name,
+                    done=done_cells,
+                    total=len(wave),
+                    elapsed=time.monotonic() - start,
+                    kind="chunk",
+                    parts_done=len(parts),
+                    parts_total=len(chunks),
                 )
-        return MapData.merge(parts)
+            )
+        # Completion order is scheduler noise; the driver's combine step
+        # sorts parts by first cell index, so the merge is
+        # order-independent by construction.
+        return SweepDriver._combined(parts)
 
     # ------------------------------------------------------------------
     # deprecated shims over the two canonical scenarios
@@ -235,16 +295,12 @@ class ParallelSweep:
         """Parallel 1-D sweep; bit-identical to the serial path.
 
         .. deprecated::
-            Thin shim over ``sweep(ScenarioSpec("single-predicate", ...))``;
+            Thin shim over ``sweep(SinglePredicateScenario.build_spec(...))``;
             new code should build the spec (or scenario) directly.
         """
-        spec = ScenarioSpec(
-            "single-predicate",
-            {
-                "axes": [[space.name, space.targets.tolist()]],
-                "column": column,
-            },
-        )
+        from repro.core.scenario import SinglePredicateScenario
+
+        spec = SinglePredicateScenario.build_spec(space, column=column)
         return self.sweep(spec, plan_filter=plan_filter)
 
     def sweep_two_predicate(
@@ -255,16 +311,10 @@ class ParallelSweep:
         """Parallel 2-D sweep; bit-identical to the serial path.
 
         .. deprecated::
-            Thin shim over ``sweep(ScenarioSpec("two-predicate", ...))``;
+            Thin shim over ``sweep(TwoPredicateScenario.build_spec(...))``;
             new code should build the spec (or scenario) directly.
         """
-        spec = ScenarioSpec(
-            "two-predicate",
-            {
-                "axes": [
-                    [space.x.name, space.x.targets.tolist()],
-                    [space.y.name, space.y.targets.tolist()],
-                ]
-            },
-        )
+        from repro.core.scenario import TwoPredicateScenario
+
+        spec = TwoPredicateScenario.build_spec(space.x, space.y)
         return self.sweep(spec, plan_filter=plan_filter)

@@ -1,0 +1,85 @@
+"""Structured sweep progress events.
+
+Historically the sweep engines reported progress as free-form strings and
+the CLI grepped ``"eta"`` back out of them to decide what to annotate.
+:class:`ProgressEvent` replaces that protocol: every path — the serial
+per-cell loop, the parallel per-chunk collector, and the wave-based
+refinement driver — emits one structured event carrying the scenario
+name, cells done/total, and the elapsed seconds since the sweep began.
+
+Renderers never parse: :meth:`ProgressEvent.render` (also ``str()``)
+produces the same human-readable lines the string protocol used, ETA
+included, so existing ``lambda message: print(message)`` consumers keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress tick of a sweep.
+
+    ``kind`` distinguishes the three emitters: ``"cell"`` (serial loop,
+    one event per measured cell), ``"chunk"`` (parallel engine, one event
+    per finished worker chunk), and ``"round"`` (refinement driver, one
+    event per completed wave).  ``done``/``total`` always count *cells*;
+    chunk events additionally carry ``parts_done``/``parts_total`` and
+    round events carry ``round_index``/``wave_cells``.
+    """
+
+    scenario: str
+    done: int
+    total: int
+    elapsed: float
+    kind: str = "cell"
+    detail: str = ""
+    parts_done: int | None = None
+    parts_total: int | None = None
+    round_index: int | None = None
+    wave_cells: int | None = None
+
+    @property
+    def eta(self) -> float | None:
+        """Remaining seconds at the observed cell rate (None if unknowable).
+
+        Round events have no ETA: a refinement sweep's ``total`` is the
+        full grid, but how much of it the policy will actually measure
+        is unknown until it stops, so extrapolating would wildly
+        overestimate.
+        """
+        if self.kind == "round":
+            return None
+        if self.done <= 0 or self.total <= self.done:
+            return 0.0 if self.total == self.done and self.done else None
+        return self.elapsed / self.done * (self.total - self.done)
+
+    def _timing(self) -> str:
+        eta = self.eta
+        if eta is None:
+            return f"elapsed {self.elapsed:.1f}s"
+        return f"elapsed {self.elapsed:.1f}s, eta {eta:.1f}s"
+
+    def render(self) -> str:
+        """The human-readable progress line (matches the old strings)."""
+        if self.kind == "chunk":
+            return (
+                f"{self.scenario} sweep: {self.done}/{self.total} cells "
+                f"({self.parts_done}/{self.parts_total} chunks, "
+                f"{self._timing()})"
+            )
+        if self.kind == "round":
+            return (
+                f"{self.scenario} refine round {self.round_index}: "
+                f"{self.wave_cells} cells measured "
+                f"({self.done}/{self.total} total, {self._timing()})"
+            )
+        described = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{self.scenario} cell {self.done}/{self.total}{described} "
+            f"[{self._timing()}]"
+        )
+
+    __str__ = render

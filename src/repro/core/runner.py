@@ -6,13 +6,17 @@ cold-cache measurement on the virtual clock, and overly expensive plans
 are censored by a cost budget (Fig 1's traditional index scan "is not
 even shown across the entire range").
 
-What gets swept is pluggable: a :class:`~repro.core.scenario.Scenario`
-owns the swept axes (selectivity, memory budget, input size, ...), the
-per-cell plan providers, and the per-cell oracle; the generic
-:meth:`RobustnessSweep.sweep` drives any of them into an N-D
-:class:`MapData`.  The historical ``sweep_single_predicate`` /
-``sweep_two_predicate`` entry points remain as thin shims over the
-corresponding scenarios.
+What gets swept is pluggable twice over: a
+:class:`~repro.core.scenario.Scenario` owns the swept axes (selectivity,
+memory budget, input size, ...), the per-cell plan providers, and the
+per-cell oracle; a :class:`~repro.core.driver.CellPolicy` owns *which*
+cells get measured.  :meth:`RobustnessSweep.sweep` is a thin front-end
+over the wave-based :class:`~repro.core.driver.SweepDriver` — the
+default dense policy reproduces the classic full-grid sweep
+bit-identically, while :class:`~repro.core.driver.AdaptiveRefinePolicy`
+concentrates the measurement budget on the map's structure.  The
+historical ``sweep_single_predicate`` / ``sweep_two_predicate`` entry
+points remain as thin shims over the corresponding scenarios.
 
 Optional deterministic measurement jitter reproduces the paper's
 "measurement flukes in the sub-second range" (Fig 5) and the 0.1 s ties
@@ -22,14 +26,22 @@ of Fig 10 without sacrificing reproducibility.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.driver import (
+    CellPolicy,
+    DenseGridPolicy,
+    SweepDriver,
+    resolve_cells,
+)
 from repro.core.mapdata import MapAxis, MapData
 from repro.core.parameter_space import Space1D, Space2D
+from repro.core.progress import ProgressEvent
 from repro.core.scenario import (
     Cell,
     Scenario,
@@ -80,7 +92,7 @@ class RobustnessSweep:
         memory_bytes: int | None = None,
         jitter: Jitter | None = None,
         verify_agreement: bool = True,
-        progress: Callable[[str], None] | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
     ) -> None:
         self.systems = list(systems)
         if not self.systems:
@@ -89,7 +101,7 @@ class RobustnessSweep:
         self.memory_bytes = memory_bytes
         self.jitter = jitter
         self.verify_agreement = verify_agreement
-        self.progress = progress or (lambda message: None)
+        self.progress = progress or (lambda event: None)
 
     # ------------------------------------------------------------------
 
@@ -116,20 +128,8 @@ class RobustnessSweep:
             )
         return plan_ids
 
-    @staticmethod
-    def _resolve_cells(cells: Sequence[int] | None, n_cells: int) -> list[int]:
-        """Validated sorted flat cell indices (all cells when None)."""
-        if cells is None:
-            return list(range(n_cells))
-        resolved = sorted(int(c) for c in cells)
-        if resolved and (resolved[0] < 0 or resolved[-1] >= n_cells):
-            raise ExperimentError(
-                f"cell indices out of range for a {n_cells}-cell grid: "
-                f"{resolved}"
-            )
-        if len(set(resolved)) != len(resolved):
-            raise ExperimentError(f"duplicate cell indices: {resolved}")
-        return resolved
+    # Shared with DenseGridPolicy: one validation authority.
+    _resolve_cells = staticmethod(resolve_cells)
 
     def _measure_cell(
         self,
@@ -182,14 +182,42 @@ class RobustnessSweep:
         scenario: Scenario,
         plan_filter: Callable[[str], bool] | None = None,
         cells: Sequence[int] | None = None,
+        policy: CellPolicy | None = None,
     ) -> MapData:
-        """Measure every plan of a scenario over its full N-D grid.
+        """Measure a scenario's plans over the cells a policy proposes.
 
-        ``cells`` restricts the sweep to a subset of flat (row-major)
-        grid indices and marks the result partial (``meta["cells"]``)
-        for later :meth:`MapData.merge` — the chunk unit of the parallel
-        engine.  Results are bit-identical regardless of chunking.
+        This is a thin front-end over the wave-based
+        :class:`~repro.core.driver.SweepDriver`.  The default
+        :class:`~repro.core.driver.DenseGridPolicy` measures the full
+        N-D grid (or the explicit ``cells`` subset — the chunk unit of
+        the parallel engine) exactly as the classic sweep did,
+        bit-identically; pass an
+        :class:`~repro.core.driver.AdaptiveRefinePolicy` to measure a
+        coarse-to-fine subset concentrated on the map's structure.
+        Partial results carry ``meta["cells"]`` for later
+        :meth:`MapData.merge`; measured values are bit-identical
+        regardless of policy, chunking, or wave order.
         """
+        if policy is not None and cells is not None:
+            raise ExperimentError("pass either cells or a policy, not both")
+        if policy is None:
+            policy = DenseGridPolicy(cells=cells)
+        driver = SweepDriver(
+            measure=lambda wave: self._sweep_cells(scenario, plan_filter, wave),
+            shape=scenario.grid_shape,
+            policy=policy,
+            scenario=scenario.name,
+            progress=self.progress,
+        )
+        return driver.run()
+
+    def _sweep_cells(
+        self,
+        scenario: Scenario,
+        plan_filter: Callable[[str], bool] | None,
+        cells: Sequence[int] | None,
+    ) -> MapData:
+        """One wave: measure the given flat cell indices in order."""
         axes = scenario.axes
         shape = tuple(axis.n_points for axis in axes)
         n_cells = int(np.prod(shape))
@@ -217,6 +245,7 @@ class RobustnessSweep:
             for provider in providers
         ]
 
+        start = time.monotonic()
         for done, flat in enumerate(cell_list):
             idx = tuple(int(k) for k in np.unravel_index(flat, shape))
             cell: Cell = scenario.cell(idx)
@@ -239,9 +268,15 @@ class RobustnessSweep:
                 plans_by_runner.append((runner, plans))
             runs = self._measure_cell(plans_by_runner, idx, cell.expected_rows)
             self._record(runs, plan_ids, times, aborted, idx)
-            described = f" ({cell.describe})" if cell.describe else ""
             self.progress(
-                f"{scenario.name} cell {done + 1}/{len(cell_list)}{described}"
+                ProgressEvent(
+                    scenario=scenario.name,
+                    done=done + 1,
+                    total=len(cell_list),
+                    elapsed=time.monotonic() - start,
+                    kind="cell",
+                    detail=cell.describe,
+                )
             )
 
         meta = dict(scenario.meta(self))

@@ -189,17 +189,21 @@ class Scenario(ABC):
     def n_cells(self) -> int:
         return int(np.prod(self.grid_shape))
 
-    def run(self, plan_filter=None, cells=None, **sweep_kwargs):
+    def run(self, plan_filter=None, cells=None, policy=None, **sweep_kwargs):
         """Convenience: sweep this scenario serially in-process.
 
-        ``sweep_kwargs`` are forwarded to
+        ``policy`` selects the cell policy (default: dense grid; pass an
+        :class:`~repro.core.driver.AdaptiveRefinePolicy` for
+        coarse-to-fine refinement).  ``sweep_kwargs`` are forwarded to
         :class:`~repro.core.runner.RobustnessSweep` (budget_seconds,
         memory_bytes, jitter, verify_agreement, progress).
         """
         from repro.core.runner import RobustnessSweep
 
         sweep = RobustnessSweep(self.providers(), **sweep_kwargs)
-        return sweep.sweep(self, plan_filter=plan_filter, cells=cells)
+        return sweep.sweep(
+            self, plan_filter=plan_filter, cells=cells, policy=policy
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -278,14 +282,26 @@ class SinglePredicateScenario(Scenario):
             "n_rows_table": reference.table.n_rows,
         }
 
-    def spec(self) -> ScenarioSpec:
+    @classmethod
+    def build_spec(cls, space, column: str | None = None) -> ScenarioSpec:
+        """Spec for this scenario without building any systems.
+
+        The single source of the params layout ``from_spec`` expects —
+        drivers that ship a spec to workers without constructing the
+        (table-holding) scenario locally should use this.
+        """
         return ScenarioSpec(
-            self.name,
+            cls.name,
             {
-                "axes": [[self._axis.name, self._axis.targets.tolist()]],
-                "column": self._requested_column,
+                "axes": [
+                    [space.name, np.asarray(space.targets, dtype=float).tolist()]
+                ],
+                "column": column,
             },
         )
+
+    def spec(self) -> ScenarioSpec:
+        return type(self).build_spec(self._axis, column=self._requested_column)
 
     @classmethod
     def from_spec(cls, spec: ScenarioSpec, providers: list) -> "Scenario":
@@ -365,16 +381,21 @@ class TwoPredicateScenario(Scenario):
             "n_rows_table": reference.table.n_rows,
         }
 
-    def spec(self) -> ScenarioSpec:
+    @classmethod
+    def build_spec(cls, x, y) -> ScenarioSpec:
+        """Spec from the two selectivity axes, without building systems."""
         return ScenarioSpec(
-            self.name,
+            cls.name,
             {
                 "axes": [
-                    [self._x.name, self._x.targets.tolist()],
-                    [self._y.name, self._y.targets.tolist()],
+                    [x.name, np.asarray(x.targets, dtype=float).tolist()],
+                    [y.name, np.asarray(y.targets, dtype=float).tolist()],
                 ]
             },
         )
+
+    def spec(self) -> ScenarioSpec:
+        return type(self).build_spec(self._x, self._y)
 
     @classmethod
     def from_spec(cls, spec: ScenarioSpec, providers: list) -> "Scenario":

@@ -193,6 +193,88 @@ def test_cli_join_scenario_prints_symmetry(tmp_path, monkeypatch):
     assert len(list(out_dir.glob("scenario_join_*.png"))) == 4
 
 
+def test_refine_changes_fingerprint(tmp_path):
+    base = tiny_config(tmp_path)
+    assert tiny_config(tmp_path, refine=True).fingerprint() != base.fingerprint()
+    assert (
+        tiny_config(tmp_path, refine=True, refine_max_cells=7).fingerprint()
+        != tiny_config(tmp_path, refine=True).fingerprint()
+    )
+
+
+def test_refined_map_cached_raw_and_returned_densified(tmp_path):
+    config = tiny_config(tmp_path, min_exp_1d=-8, refine=True)
+    session = BenchSession(config)
+    mapdata = session.single_predicate_map()
+    # The session hands out the full-grid interpolation view ...
+    assert not mapdata.is_partial
+    assert mapdata.meta["policy"] == "adaptive-refine"
+    measured = mapdata.meta["measured_cells"]
+    assert 0 < len(measured) < mapdata.times[0].size
+    assert session.single_predicate_map() is mapdata  # memoized
+    # ... while the disk cache stores the raw sparse measurement.
+    raw = MapData.load(config.cache_path("single_predicate"))
+    assert raw.is_partial
+    assert raw.filled_cells.tolist() == sorted(measured)
+    # A fresh session reloads the cache and densifies identically.
+    reloaded = BenchSession(config).single_predicate_map()
+    assert np.array_equal(reloaded.times, mapdata.times, equal_nan=True)
+    assert reloaded.meta == mapdata.meta
+
+
+def test_cache_validation_is_policy_aware(tmp_path):
+    refined = tiny_config(tmp_path, min_exp_1d=-8, refine=True)
+    session = BenchSession(refined)
+    session.single_predicate_map()
+    sparse = MapData.load(refined.cache_path("single_predicate"))
+    assert session._cache_valid(sparse, "single_predicate")
+    # A dense-looking map must not satisfy a refine config (nor a sparse
+    # one a dense config), even at matching fingerprint and grid shape.
+    dense_like = MapData.from_dict(sparse.to_dict())
+    dense_like.meta.pop("policy")
+    dense_like.meta.pop("cells")
+    assert not session._cache_valid(dense_like, "single_predicate")
+    sparse.meta["config_fingerprint"] = tiny_config(
+        tmp_path, min_exp_1d=-8
+    ).fingerprint()
+    dense_session = BenchSession(tiny_config(tmp_path, min_exp_1d=-8))
+    assert not dense_session._cache_valid(sparse, "single_predicate")
+
+
+def test_refined_scenario_map_agrees_with_dense_on_measured(tmp_path):
+    overrides = dict(join_rows=(64, 96, 128, 192, 256), join_key_domain=256)
+    dense = BenchSession(tiny_config(tmp_path / "d", **overrides)).join_map()
+    refined = BenchSession(
+        tiny_config(tmp_path / "r", refine=True, **overrides)
+    ).join_map()
+    assert refined.grid_shape == dense.grid_shape
+    cells = np.asarray(refined.meta["measured_cells"], dtype=int)
+    flat_r = refined.times.reshape(refined.n_plans, -1)[:, cells]
+    flat_d = dense.times.reshape(dense.n_plans, -1)[:, cells]
+    assert np.array_equal(flat_r, flat_d, equal_nan=True)
+
+
+def test_cli_refine_scenario_smoke(tmp_path, monkeypatch):
+    from repro.bench.cli import main
+
+    monkeypatch.setenv("REPRO_BENCH_ROWS", "512")
+    monkeypatch.setenv("REPRO_BENCH_MIN_EXP_2D", "-5")
+    # main() writes --refine/--max-cells into the environment; register
+    # the vars with monkeypatch first so teardown restores their absence
+    # and later tests' BenchConfig stays dense.
+    monkeypatch.setenv("REPRO_BENCH_REFINE", "0")
+    monkeypatch.setenv("REPRO_BENCH_MAX_CELLS", "0")
+    out_dir = tmp_path / "scenarios"
+    code = main(
+        [str(out_dir), "--scenario", "memory_sweep", "--refine", "--max-cells", "9"]
+    )
+    assert code == 0
+    saved = MapData.load(out_dir / "scenario_memory_sweep.json")
+    assert saved.meta["policy"] == "adaptive-refine"
+    assert len(saved.meta["measured_cells"]) <= 9
+    assert not saved.is_partial  # written densified, coverage in meta
+
+
 def test_corrupt_fingerprint_triggers_recompute(tmp_path):
     config = tiny_config(tmp_path)
     computed = BenchSession(config).single_predicate_map()

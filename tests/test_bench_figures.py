@@ -53,6 +53,30 @@ def test_figure_runs_and_structural_claims_hold(session, figure_id):
             assert artifact[:8] == b"\x89PNG\r\n\x1a\n"
 
 
+@pytest.fixture(scope="module")
+def refined_session():
+    return BenchSession(
+        BenchConfig(
+            n_rows=4096,
+            min_exp_1d=-8,
+            min_exp_2d=-5,
+            cache_dir=None,
+            refine=True,
+        )
+    )
+
+
+@pytest.mark.parametrize("figure_id", sorted(ALL_FIGURES))
+def test_figure_claims_hold_on_refined_maps(refined_session, figure_id):
+    """Every figure must survive densify()-ed adaptively refined maps."""
+    result = ALL_FIGURES[figure_id](refined_session)
+    assert result.claims, figure_id
+    for claim in result.claims:
+        if claim.claim in SCALE_DEPENDENT:
+            continue
+        assert claim.holds, f"{figure_id}: {claim.claim}: {claim.measured}"
+
+
 def test_figures_cover_the_whole_paper():
     for n in range(1, 11):
         assert f"fig{n:02d}" in ALL_FIGURES

@@ -6,6 +6,7 @@ import pytest
 from repro.core.mapdata import MapData
 from repro.core.parallel import ParallelSweep, PlanIdFilter, partition_cells
 from repro.core.parameter_space import Space1D, Space2D
+from repro.core.progress import ProgressEvent
 from repro.core.runner import Jitter, RobustnessSweep
 from repro.errors import ExperimentError
 from repro.systems import SystemA, SystemConfig
@@ -77,6 +78,34 @@ def test_partial_sweeps_merge_to_full_1d(system_a):
     assert merged.meta == full.meta
 
 
+def test_shuffled_completion_order_merges_bit_identically(system_a):
+    """Chunk parts arriving in any completion order yield one map.
+
+    ``ParallelSweep`` sorts parts by first cell index before merging, so
+    order-independence holds by construction; this exercises the same
+    invariant at the MapData level with adversarial arrival orders.
+    """
+    import itertools
+
+    space = Space1D.log2("sel", -4, 0)
+    sweep = RobustnessSweep([system_a], jitter=JITTER)
+    chunks = [[0, 1], [2], [3, 4]]
+    parts = [
+        sweep.sweep_single_predicate(space, cells=chunk) for chunk in chunks
+    ]
+    reference = MapData.merge(
+        sorted(parts, key=lambda part: int(part.filled_cells[0]))
+    )
+    assert not reference.is_partial
+    for order in itertools.permutations(parts):
+        merged = MapData.merge(list(order))
+        assert merged.plan_ids == reference.plan_ids
+        assert np.array_equal(merged.times, reference.times, equal_nan=True)
+        assert np.array_equal(merged.aborted, reference.aborted)
+        assert np.array_equal(merged.rows, reference.rows)
+        assert merged.meta == reference.meta
+
+
 def test_partial_sweep_validates_cells(system_a):
     space = Space1D.log2("sel", -2, 0)
     sweep = RobustnessSweep([system_a])
@@ -131,6 +160,36 @@ def test_parallel_serial_fallback_matches(system_a):
     assert_identical(fallback, serial)
 
 
+def test_parallel_single_full_grid_chunk(system_a):
+    """chunk_cells >= n_cells puts the whole grid in one chunk; the
+    chunk part must stay mergeable (regression: the worker normalized
+    it to a complete map and the parent's merge rejected it)."""
+    space = Space1D.log2("sel", -3, 0)
+    serial = RobustnessSweep([system_a]).sweep_single_predicate(space)
+    engine = ParallelSweep(build_system_a, n_workers=2, chunk_cells=100)
+    parallel = engine.sweep_single_predicate(space)
+    assert_identical(parallel, serial)
+
+
+def test_parallel_empty_cell_policy_matches_serial(system_a):
+    """An empty explicit cell list yields the all-NaN partial map on
+    both engines (regression: the parallel wave crashed partitioning
+    zero cells)."""
+    from repro.core.driver import DenseGridPolicy
+    from repro.core.scenario import SinglePredicateScenario
+
+    space = Space1D.log2("sel", -2, 0)
+    scenario = SinglePredicateScenario([system_a], space)
+    serial = RobustnessSweep([system_a]).sweep(
+        scenario, policy=DenseGridPolicy(cells=[])
+    )
+    assert serial.is_partial and serial.filled_cells.size == 0
+    assert np.isnan(serial.times).all()
+    engine = ParallelSweep(build_system_a, n_workers=2)
+    parallel = engine.sweep(scenario.spec(), policy=DenseGridPolicy(cells=[]))
+    assert_identical(parallel, serial)
+
+
 def test_parallel_respects_plan_filter(system_a):
     space = Space1D.log2("sel", -2, 0)
     keep = PlanIdFilter(["A.table_scan"])
@@ -141,13 +200,22 @@ def test_parallel_respects_plan_filter(system_a):
 
 def test_parallel_reports_chunk_progress():
     space = Space1D.log2("sel", -3, 0)
-    messages = []
+    events = []
     engine = ParallelSweep(
-        build_system_a, n_workers=2, chunk_cells=2, progress=messages.append
+        build_system_a, n_workers=2, chunk_cells=2, progress=events.append
     )
     engine.sweep_single_predicate(space)
-    assert messages
-    assert all("eta" in message for message in messages)
+    assert events
+    # Structured events, no string sniffing: every field is typed.
+    assert all(isinstance(event, ProgressEvent) for event in events)
+    assert all(event.kind == "chunk" for event in events)
+    assert [event.parts_done for event in events] == [1, 2]
+    last = events[-1]
+    assert last.done == last.total == 4
+    assert last.elapsed >= 0.0
+    # ... while the rendered line keeps the familiar shape.
+    assert "sweep: 4/4 cells" in last.render()
+    assert "eta" in events[0].render() or events[0].done == events[0].total
 
 
 # ---------------------------------------------------------------------------

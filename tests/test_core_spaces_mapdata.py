@@ -198,3 +198,55 @@ def test_mapdata_merge_rejects_overlap_and_mismatch():
     part_c, _ = split_map(other, [0], [1])
     with pytest.raises(ExperimentError, match="plan ids"):
         MapData.merge([part_a, part_c])
+
+
+def test_mapdata_merge_duplicate_cells_raise_even_with_identical_data():
+    """The documented overlap contract: raise, never last-write-win.
+
+    Sweeps are deterministic, so a duplicate cell cannot legitimately
+    carry different data — but a silent overwrite would let a buggy
+    wave/chunk split hide itself, so identical duplicates raise too.
+    """
+    mapdata = make_map()
+    part_a, _ = split_map(mapdata, [0, 1], [2])
+    twin, _ = split_map(mapdata, [1], [2])  # same grid, same data at cell 1
+    with pytest.raises(ExperimentError, match="overlap.*\\[1\\]"):
+        MapData.merge([part_a, twin])
+
+
+def test_mapdata_merge_non_contiguous_scattered_cells():
+    """Adaptive waves produce scattered, non-contiguous cell subsets."""
+    mapdata = make_map(two_d=True)
+    part_a, part_b = split_map(mapdata, [0, 3], [2])
+    merged = MapData.merge([part_b, part_a])
+    assert merged.is_partial
+    assert merged.filled_cells.tolist() == [0, 2, 3]
+    assert np.array_equal(merged.measured_mask, np.array([[True, False], [True, True]]))
+    flat = merged.times.reshape(merged.n_plans, -1)
+    full = mapdata.times.reshape(mapdata.n_plans, -1)
+    assert np.array_equal(flat[:, [0, 2, 3]], full[:, [0, 2, 3]], equal_nan=True)
+    assert np.isnan(flat[:, 1]).all()
+
+
+def test_mapdata_merge_disjoint_plan_subsets_raise():
+    """Parts must cover the same plans; disjoint plan subsets raise."""
+    part_a, part_b = split_map(make_map(), [0], [1])
+    only_p1 = part_a.subset(["p1"])
+    only_p2 = part_b.subset(["p2"])
+    assert only_p1.is_partial and only_p2.is_partial  # subset keeps cells
+    with pytest.raises(ExperimentError, match="plan ids"):
+        MapData.merge([only_p1, only_p2])
+
+
+def test_mapdata_merge_is_order_independent():
+    """Any permutation of the parts merges to the bit-identical map."""
+    mapdata = make_map(two_d=True)
+    part_a, part_b = split_map(mapdata, [0, 3], [1])
+    part_c, _ = split_map(mapdata, [2], [0])
+    reference = MapData.merge([part_a, part_b, part_c])
+    for order in ([part_c, part_b, part_a], [part_b, part_c, part_a]):
+        merged = MapData.merge(order)
+        assert np.array_equal(merged.times, reference.times, equal_nan=True)
+        assert np.array_equal(merged.aborted, reference.aborted)
+        assert np.array_equal(merged.rows, reference.rows)
+        assert merged.meta == reference.meta
