@@ -1,0 +1,20 @@
+"""Extension: optimizer choice and regret maps under estimation error.
+
+The classic policy's worst-case regret grows with error magnitude; the
+robust policies cap it at a bounded premium in expected cost; choice-map
+region boundaries shift as error grows.
+"""
+
+from repro.bench.figures import ext_optimizer_regret
+
+from conftest import record
+
+
+def bench_ext_optimizer_regret(session, benchmark):
+    """Regenerate the figure; assert every paper claim; time the analysis."""
+    result = ext_optimizer_regret(session)
+    record(result)
+    assert result.all_hold, [c.claim for c in result.claims if not c.holds]
+    # The sweep and choice maps are session-cached; the timed region is
+    # the figure analysis + rendering pipeline itself.
+    benchmark(lambda: ext_optimizer_regret(session))

@@ -1,0 +1,123 @@
+"""Throughput benchmark: cost-model evaluation and plan choice.
+
+Measures how many grid cells per second each selection policy can decide
+when choosing among the full join-plan inventory (merge, hash under both
+spill policies, index nested-loop) — the hot path of choice-map
+construction, where every cell prices every candidate at every
+uncertainty-box sample.  Writes a ``BENCH_optimizer_choice.json``
+artifact so CI can track the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer_choice.py \
+        [--cells 2000] [--uncertainty 4.0] [--out BENCH_optimizer_choice.json]
+        [--require-cells-per-sec 500]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.executor.joins import join_plan_inventory
+from repro.optimizer import (
+    CostModel,
+    Estimate,
+    MinEstimatedCost,
+    MinWorstRegret,
+    PenaltyAware,
+    PlanChooser,
+)
+from repro.sim.profile import DeviceProfile
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cells", type=int, default=2000)
+    parser.add_argument("--uncertainty", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument("--out", default="BENCH_optimizer_choice.json")
+    parser.add_argument("--require-cells-per-sec", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    # One representative plan inventory; the choice loop re-prices it per
+    # cell from that cell's estimates (costing never executes plans, so
+    # the bound arrays only matter for construction).
+    keys = np.arange(1024, dtype=np.int64)
+    plans = join_plan_inventory(keys, keys, row_bytes=16)
+    model = CostModel(DeviceProfile(), memory_bytes=64 << 10)
+
+    rng = np.random.default_rng(args.seed)
+    estimates = []
+    for _ in range(args.cells):
+        build = float(rng.integers(1, 1 << 20))
+        probe = float(rng.integers(1, 1 << 20))
+        estimates.append(
+            Estimate(
+                {
+                    "rows.build": build,
+                    "rows.probe": probe,
+                    "rows.out": min(build, probe),
+                },
+                uncertainty=args.uncertainty,
+            )
+        )
+
+    policies = (MinEstimatedCost(), MinWorstRegret(), PenaltyAware())
+    payload = {
+        "bench": "optimizer_choice",
+        "cells": args.cells,
+        "n_plans": len(plans),
+        "uncertainty": args.uncertainty,
+        "platform": platform.platform(),
+        "policies": {},
+    }
+    print(
+        f"choosing among {len(plans)} join plans over {args.cells} cells "
+        f"(uncertainty box {args.uncertainty:g})"
+    )
+    slowest = float("inf")
+    for policy in policies:
+        chooser = PlanChooser(model, policy)
+        start = time.perf_counter()
+        chosen = [chooser.choose(plans, estimate) for estimate in estimates]
+        elapsed = time.perf_counter() - start
+        rate = args.cells / elapsed if elapsed else float("inf")
+        slowest = min(slowest, rate)
+        distribution = {
+            plan_id: chosen.count(plan_id) for plan_id in sorted(set(chosen))
+        }
+        payload["policies"][policy.name] = {
+            "seconds": round(elapsed, 4),
+            "cells_per_sec": round(rate, 1),
+            "choice_distribution": distribution,
+        }
+        print(
+            f"  {policy.name:22s} {elapsed:7.3f}s  {rate:9.0f} cells/s  "
+            f"{distribution}"
+        )
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    if (
+        args.require_cells_per_sec is not None
+        and slowest < args.require_cells_per_sec
+    ):
+        print(
+            f"FAIL: slowest policy at {slowest:.0f} cells/s < required "
+            f"{args.require_cells_per_sec:.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

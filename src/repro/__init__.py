@@ -53,6 +53,17 @@ from repro.systems import (
     SystemC,
     build_three_systems,
 )
+from repro.optimizer import (
+    CardinalityEstimator,
+    CostModel,
+    CostQuirks,
+    Estimate,
+    EstimationError,
+    MinEstimatedCost,
+    MinWorstRegret,
+    PenaltyAware,
+    PlanChooser,
+)
 from repro.core import (
     Axis,
     Space1D,
@@ -66,6 +77,9 @@ from repro.core import (
     SortSpillScenario,
     MemorySweepScenario,
     JoinScenario,
+    EstimationErrorScenario,
+    ChoiceMap,
+    build_choice_map,
     OperatorBench,
     RobustnessSweep,
     Jitter,
@@ -132,7 +146,19 @@ __all__ = [
     "SortSpillScenario",
     "MemorySweepScenario",
     "JoinScenario",
+    "EstimationErrorScenario",
+    "ChoiceMap",
+    "build_choice_map",
     "OperatorBench",
+    "CardinalityEstimator",
+    "CostModel",
+    "CostQuirks",
+    "Estimate",
+    "EstimationError",
+    "MinEstimatedCost",
+    "MinWorstRegret",
+    "PenaltyAware",
+    "PlanChooser",
     "RobustnessSweep",
     "Jitter",
     "ParallelSweep",

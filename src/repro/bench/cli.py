@@ -5,6 +5,7 @@ Usage::
     repro-figures [output_dir] [--figures fig01,fig07] [--rows 65536]
                   [--workers 4] [--progress] [--refine] [--max-cells 100]
     repro-figures [output_dir] --scenario sort_spill,memory_sweep
+    repro-figures [output_dir] --scenario estimation --regret
 
 Figure mode writes SVG/PNG artifacts, prints the paper-vs-measured claim
 tables, and exits non-zero if any claim fails (usable as a CI robustness
@@ -19,6 +20,9 @@ coarse grid refined where the map shows cliffs, crossovers, or censored
 cells — and ``--max-cells`` caps the refinement's measurement budget per
 sweep; refined maps measure the same values as dense maps on every cell
 they share, and the summary reports the measured-cell coverage.
+``--regret`` (with ``--scenario estimation``) additionally evaluates the
+optimizer's selection policies over the measured map and writes one
+categorical *choice map* and one *regret map* per policy.
 """
 
 from __future__ import annotations
@@ -74,16 +78,64 @@ def _scenario_heatmaps(mapdata, name: str, out_dir: Path) -> list[Path]:
     return written
 
 
+def _regret_artifacts(session: BenchSession, out_dir: Path) -> None:
+    """Choice + regret maps per selection policy (``--regret``)."""
+    from repro.viz.figures import (
+        choice_heatmap,
+        plan_choice_scale,
+        regret_heatmap,
+        regret_png,
+    )
+
+    choices = session.choice_maps()
+    first = next(iter(choices.values()))
+    # One shared scale: the same plan is the same color in every panel.
+    scale = plan_choice_scale(first.plan_ids)
+    magnitudes = first.axes[1].targets
+    print("optimizer policies over the estimation map:")
+    header = "  policy                 " + "".join(
+        f"  err={m:<6.2f}" for m in magnitudes
+    )
+    print(header + " (worst regret per error magnitude)")
+    for name, choice in choices.items():
+        per_magnitude = [
+            choice.worst_regret(np.s_[:, j]) for j in range(magnitudes.size)
+        ]
+        print(
+            f"  {name:22s}" + "".join(f"  {r:8.2f}" for r in per_magnitude)
+        )
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+        json_path = out_dir / f"choice_{safe}.json"
+        choice.save(json_path)
+        svg_path = out_dir / f"choice_{safe}.svg"
+        choice_heatmap(
+            choice, f"Plan choice: {name}", scale=scale, path=svg_path
+        )
+        regret_svg = out_dir / f"regret_{safe}.svg"
+        regret_heatmap(choice, f"Regret: {name}", path=regret_svg)
+        png_path = out_dir / f"regret_{safe}.png"
+        png_path.write_bytes(regret_png(choice))
+        for artifact in (json_path, svg_path, regret_svg, png_path):
+            print(f"  wrote {artifact}")
+
+
 def _run_scenarios(
-    session: BenchSession, names: list[str], out_dir: Path
+    session: BenchSession, names: list[str], out_dir: Path, regret: bool = False
 ) -> int:
     """Sweep each named scenario, write its MapData + heat maps, summarize."""
     names = [n.replace("-", "_") for n in names]
+    available = session.available_scenarios()
     unknown = [n for n in names if n not in session.SCENARIO_MAPS]
     if unknown:
         print(
-            f"unknown scenarios: {unknown}; "
-            f"available: {sorted(session.SCENARIO_MAPS)}",
+            f"unknown scenarios: {unknown}; available: {available}",
+            file=sys.stderr,
+        )
+        return 2
+    if regret and "estimation" not in names:
+        print(
+            "--regret needs the estimation scenario "
+            "(add --scenario estimation)",
             file=sys.stderr,
         )
         return 2
@@ -138,6 +190,8 @@ def _run_scenarios(
         if mapdata.is_2d:
             for artifact in _scenario_heatmaps(mapdata, name, out_dir):
                 print(f"  wrote {artifact}")
+        if regret and name == "estimation":
+            _regret_artifacts(session, out_dir)
     return 0
 
 
@@ -182,7 +236,14 @@ def main(argv: list[str] | None = None) -> int:
         "--scenario",
         default=None,
         help="comma-separated scenario names (runs scenario sweeps "
-        "instead of figures; see BenchSession.SCENARIO_MAPS)",
+        "instead of figures); available: "
+        + ",".join(BenchSession.available_scenarios()),
+    )
+    parser.add_argument(
+        "--regret",
+        action="store_true",
+        help="with --scenario estimation: evaluate the optimizer's "
+        "selection policies and write choice + regret maps per policy",
     )
     args = parser.parse_args(argv)
 
@@ -198,7 +259,11 @@ def main(argv: list[str] | None = None) -> int:
     session = BenchSession(BenchConfig(), progress=progress)
     if args.scenario is not None:
         names = [name.strip() for name in args.scenario.split(",") if name.strip()]
-        return _run_scenarios(session, names, Path(args.output))
+        return _run_scenarios(
+            session, names, Path(args.output), regret=args.regret
+        )
+    if args.regret:
+        parser.error("--regret requires --scenario estimation")
     wanted = list(ALL_FIGURES) if args.figures == "all" else args.figures.split(",")
     unknown = [figure for figure in wanted if figure not in ALL_FIGURES]
     if unknown:

@@ -31,13 +31,16 @@ import hashlib
 import os
 from dataclasses import dataclass, field, fields
 from pathlib import Path
+from typing import Sequence
 
+from repro.core.choice import ChoiceMap, build_choice_map
 from repro.core.driver import AdaptiveRefinePolicy, CellPolicy
 from repro.core.mapdata import MapData
 from repro.core.parallel import ParallelSweep
 from repro.core.parameter_space import Space1D, Space2D
 from repro.core.runner import Jitter, RobustnessSweep
 from repro.core.scenario import (
+    EstimationErrorScenario,
     JoinScenario,
     MemorySweepScenario,
     OperatorBench,
@@ -47,6 +50,7 @@ from repro.core.scenario import (
     operator_bench_factory,
 )
 from repro.errors import ExperimentError
+from repro.optimizer import STANDARD_POLICIES, PlanChooser, SelectionPolicy
 from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
 from repro.workloads import LineitemConfig
 
@@ -94,6 +98,18 @@ class BenchConfig:
 
     join_key_domain: int = 1 << 16
     """Join key domain (controls match density and output sizes)."""
+
+    error_magnitudes: tuple = (0.0, 0.5, 1.0, 2.0, 3.0)
+    """Error axis of the estimation scenario (std dev of ln q per cell).
+    The top magnitude allows order-of-magnitude misestimates — the regime
+    where plan choice actually flips."""
+
+    error_bias: float = 0.0
+    """Systematic ln-q bias of the estimation error model."""
+
+    error_seed: int = 2009
+    """Seed of the estimation error model (fingerprinted, like all of
+    these knobs, so choice/regret caches can never mix error models)."""
 
     refine: bool = field(
         default_factory=lambda: os.environ.get("REPRO_BENCH_REFINE", "")
@@ -182,6 +198,7 @@ class BenchSession:
         self.progress = progress
         self._systems: dict[str, DatabaseSystem] | None = None
         self._maps: dict[str, MapData] = {}
+        self._choices: dict[str, ChoiceMap] = {}
 
     # ------------------------------------------------------------------
 
@@ -224,6 +241,11 @@ class BenchSession:
             return (1 - self.config.min_exp_2d, len(self.config.memory_axis))
         if key == "scenario_join":
             return (len(self.config.join_rows), len(self.config.join_rows))
+        if key == "scenario_estimation":
+            return (
+                1 - self.config.min_exp_2d,
+                len(self.config.error_magnitudes),
+            )
         n = 1 - self.config.min_exp_2d
         return (n, n)
 
@@ -439,6 +461,103 @@ class BenchSession:
 
         return self._cached("scenario_join", compute)
 
+    # ------------------------------------------------------------------
+    # the optimizer's scenario: estimation error, choice and regret maps
+    # ------------------------------------------------------------------
+
+    def _estimation_space(self) -> Space1D:
+        return Space1D.log2("selectivity", self.config.min_exp_2d, 0)
+
+    def estimation_scenario(self) -> EstimationErrorScenario:
+        """The estimation scenario bound to this session's System A."""
+        config = self.config
+        return EstimationErrorScenario(
+            [self.system_a],
+            self._estimation_space(),
+            magnitudes=config.error_magnitudes,
+            error_bias=config.error_bias,
+            error_seed=config.error_seed,
+        )
+
+    def estimation_map(self) -> MapData:
+        """Selectivity x error magnitude over System A's 7 plans.
+
+        The measured times are independent of the error axis (estimation
+        error perturbs the optimizer's inputs, never executions); the
+        axis exists so :meth:`choice_maps` can evaluate every policy
+        under growing error against the same measured surface.
+        """
+
+        def compute() -> MapData:
+            config = self.config
+            if self._wants_parallel():
+                from functools import partial
+
+                engine = self._sweep_engine(partial(_session_system_a, config))
+                spec = EstimationErrorScenario.build_spec(
+                    self._estimation_space(),
+                    config.error_magnitudes,
+                    error_bias=config.error_bias,
+                    error_seed=config.error_seed,
+                )
+                return engine.sweep(spec, policy=self._policy())
+            return self.estimation_scenario().run(
+                budget_seconds=self.budget(),
+                memory_bytes=config.memory_bytes,
+                policy=self._policy(),
+                progress=self.progress or (lambda event: None),
+            )
+
+        return self._cached("scenario_estimation", compute)
+
+    def choice_maps(
+        self, policies: Sequence[SelectionPolicy] | None = None
+    ) -> dict[str, ChoiceMap]:
+        """One choice/regret map per selection policy, memoized.
+
+        Every cell's choice is computed from that cell's true
+        cardinalities perturbed by the deterministic error model, under
+        System A's cost model; regret divides the chosen plan's measured
+        time by the measured best (``best_times`` over the full
+        inventory).  Deterministic end to end: same config, same maps —
+        serial or parallel, cached or recomputed.
+        """
+        if policies is None:
+            policies = [policy_type() for policy_type in STANDARD_POLICIES]
+
+        def cache_key(policy: SelectionPolicy) -> str:
+            # Memoize per *configured* policy, not per name: the same
+            # policy class with different parameters (uncertainty,
+            # penalty weight) must not reuse another's map.
+            return f"{policy.name}:{sorted(vars(policy).items())!r}"
+
+        missing = [
+            policy
+            for policy in policies
+            if cache_key(policy) not in self._choices
+        ]
+        if missing:
+            mapdata = self.estimation_map()
+            scenario = self.estimation_scenario()
+            model = self.system_a.cost_model(
+                memory_bytes=self.config.memory_bytes
+            )
+            for policy in missing:
+                chooser = PlanChooser(model, policy)
+
+                def choose(idx: tuple[int, ...]) -> str:
+                    return chooser.choose(
+                        scenario.candidate_plans(idx), scenario.estimates(idx)
+                    )
+
+                self._choices[cache_key(policy)] = build_choice_map(
+                    mapdata, policy.name, choose
+                )
+        return {
+            policy.name: self._choices[cache_key(policy)]
+            for policy in policies
+        }
+
     #: CLI-facing scenario names -> bound map methods.
     SCENARIO_MAPS = {
         "single_predicate": "single_predicate_map",
@@ -446,7 +565,13 @@ class BenchSession:
         "sort_spill": "sort_spill_map",
         "memory_sweep": "memory_sweep_map",
         "join": "join_map",
+        "estimation": "estimation_map",
     }
+
+    @classmethod
+    def available_scenarios(cls) -> list[str]:
+        """The scenario names ``scenario_map`` / the CLI accept."""
+        return sorted(cls.SCENARIO_MAPS)
 
     def scenario_map(self, name: str) -> MapData:
         """Compute (or load from cache) a bundled scenario's map.
@@ -459,7 +584,7 @@ class BenchSession:
         except KeyError:
             raise ExperimentError(
                 f"unknown scenario {name!r}; "
-                f"available: {sorted(self.SCENARIO_MAPS)}"
+                f"available: {self.available_scenarios()}"
             ) from None
         return getattr(self, method)()
 

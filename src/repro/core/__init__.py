@@ -26,6 +26,7 @@ from repro.core.parameter_space import Axis, Space1D, Space2D, log2_targets
 from repro.core.mapdata import MapAxis, MapData
 from repro.core.scenario import (
     Cell,
+    EstimationErrorScenario,
     JoinScenario,
     MemorySweepScenario,
     OperatorBench,
@@ -39,6 +40,7 @@ from repro.core.scenario import (
     register_scenario,
     SCENARIO_TYPES,
 )
+from repro.core.choice import ChoiceMap, build_choice_map, lenient_best_times
 from repro.core.driver import (
     AdaptiveRefinePolicy,
     CellPolicy,
@@ -83,6 +85,10 @@ __all__ = [
     "SortSpillScenario",
     "MemorySweepScenario",
     "JoinScenario",
+    "EstimationErrorScenario",
+    "ChoiceMap",
+    "build_choice_map",
+    "lenient_best_times",
     "OperatorBench",
     "operator_bench_factory",
     "build_scenario",

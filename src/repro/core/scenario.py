@@ -31,6 +31,9 @@ plans) and :class:`MemorySweepScenario` (selectivity x memory budget).
 :class:`JoinScenario` opens the join workload of Figs 4-5: build rows x
 probe rows (optionally x memory) over the merge / hash / index
 nested-loop join plans, read through the symmetry landmark.
+:class:`EstimationErrorScenario` adds the compile-time dimension —
+selectivity x estimation-error magnitude — feeding the optimizer
+subsystem's choice and regret maps (:mod:`repro.core.choice`).
 """
 
 from __future__ import annotations
@@ -51,6 +54,11 @@ from repro.executor.joins import (
 )
 from repro.executor.plans import ExternalSortNode, PlanNode, PlanRunner
 from repro.executor.sort import SpillPolicy
+from repro.optimizer.estimation import (
+    CardinalityEstimator,
+    Estimate,
+    EstimationError,
+)
 from repro.sim.profile import DeviceProfile
 from repro.storage.env import StorageEnv
 from repro.workloads.queries import SinglePredicateQuery
@@ -687,6 +695,193 @@ class MemorySweepScenario(Scenario):
             sel_axis,
             memory_targets=memory_axis.targets,
             column=spec.params.get("column"),
+        )
+
+
+@register_scenario
+class EstimationErrorScenario(Scenario):
+    """Selectivity x estimation-error magnitude over forced plans.
+
+    The run-time side is the familiar single-predicate sweep: every plan
+    is measured at every cell, and the measured costs are *independent*
+    of the error axis (the error model perturbs estimates, never
+    executions).  The compile-time side is what the second axis turns:
+    :meth:`estimates` yields each cell's true cardinalities pushed
+    through a deterministic q-error of that cell's magnitude, and
+    :meth:`candidate_plans` the inventory an optimizer chooses from —
+    the inputs :func:`repro.core.choice.build_choice_map` combines with a
+    :class:`~repro.optimizer.chooser.PlanChooser` into choice and regret
+    maps.
+
+    Determinism contract: the standard-normal draw behind a cell's
+    q-factor is keyed on the *workload* index (the selectivity cell) and
+    the quantity name only; the magnitude axis merely scales it.
+    Walking the error axis therefore amplifies one fixed misestimation
+    per selectivity instead of re-rolling it, magnitude 0 reproduces the
+    true values exactly, and the whole surface is bit-identical across
+    processes and runs.
+    """
+
+    name = "estimation-error"
+
+    def __init__(
+        self,
+        systems: Sequence,
+        space,
+        magnitudes: Sequence[float],
+        column: str | None = None,
+        error_bias: float = 0.0,
+        error_seed: int = 2009,
+    ) -> None:
+        self.systems = _require_systems(systems)
+        reference = self.systems[0]
+        self._requested_column = column
+        self.column = column or reference.config.b_column
+        self.error_bias = float(error_bias)
+        self.error_seed = int(error_seed)
+        self._sel_axis = Axis(space.name, space.targets)
+        self._magnitude_axis = Axis(
+            "error_magnitude", np.asarray(magnitudes, dtype=float)
+        )
+        if np.any(self._magnitude_axis.targets < 0):
+            raise ExperimentError("error magnitudes must be non-negative")
+        builder = PredicateBuilder(reference.table, self.column)
+        self._predicates = builder.predicates_for_grid(self._sel_axis.targets)
+        self._achieved = np.asarray([a for _p, a in self._predicates])
+        column_values = reference.table.column(self.column)
+        self._oracle_rows = [
+            int(np.count_nonzero(predicate.mask(column_values)))
+            for predicate, _achieved in self._predicates
+        ]
+        self._estimator = CardinalityEstimator(
+            EstimationError(bias=self.error_bias, seed=self.error_seed)
+        )
+        self._true_cards: dict[int, dict[str, float]] = {}
+
+    @property
+    def axes(self) -> tuple[Axis, ...]:
+        return (self._sel_axis, self._magnitude_axis)
+
+    def providers(self) -> list:
+        return self.systems
+
+    def _query(self, i: int) -> SinglePredicateQuery:
+        return SinglePredicateQuery(self._predicates[i][0])
+
+    def plan_ids_by_provider(self) -> list[list[str]]:
+        first = self._query(0)
+        return [list(system.plans_for(first)) for system in self.systems]
+
+    def cell(self, idx: tuple[int, ...]) -> Cell:
+        i, j = idx
+        query = self._query(i)
+        return Cell(
+            expected_rows=self._oracle_rows[i],
+            plans=[
+                (s, system.plans_for(query))
+                for s, system in enumerate(self.systems)
+            ],
+            describe=(
+                f"sel={self._predicates[i][1]:.2e} "
+                f"err={self._magnitude_axis.targets[j]:.2f}"
+            ),
+        )
+
+    def achieved(self, axis: int) -> np.ndarray | None:
+        return self._achieved if axis == 0 else None
+
+    # ------------------------------------------------------------------
+    # the compile-time side
+    # ------------------------------------------------------------------
+
+    def magnitude(self, idx: tuple[int, ...]) -> float:
+        return float(self._magnitude_axis.targets[idx[1]])
+
+    def true_cards(self, idx: tuple[int, ...]) -> dict[str, float]:
+        """Oracle cardinalities of the cell's query (the workload side).
+
+        Delegates to :meth:`DatabaseSystem.true_cards` — the single
+        owner of the estimate-key convention — cached per selectivity
+        index (the error axis shares the workload).
+        """
+        i = int(idx[0])
+        if i not in self._true_cards:
+            self._true_cards[i] = self.systems[0].true_cards(self._query(i))
+        return dict(self._true_cards[i])
+
+    def estimates(self, idx: tuple[int, ...]) -> Estimate:
+        """The cell's perturbed estimates (see the determinism contract)."""
+        return self._estimator.estimate(
+            self.true_cards(idx),
+            key=(int(idx[0]),),
+            magnitude=self.magnitude(idx),
+        )
+
+    def candidate_plans(
+        self, idx: tuple[int, ...], provider: int = 0
+    ) -> dict[str, PlanNode]:
+        """Fresh plan trees one provider's optimizer chooses from."""
+        return self.systems[provider].plans_for(self._query(idx[0]))
+
+    # ------------------------------------------------------------------
+
+    def meta(self, sweep) -> dict:
+        reference = self.systems[0]
+        return {
+            "sweep": "estimation-error",
+            "column": self.column,
+            "error_bias": self.error_bias,
+            "error_seed": self.error_seed,
+            "budget_seconds": sweep.budget_seconds,
+            "systems": [system.name for system in self.systems],
+            "n_rows_table": reference.table.n_rows,
+        }
+
+    @classmethod
+    def build_spec(
+        cls,
+        space,
+        magnitudes: Sequence[float],
+        column: str | None = None,
+        error_bias: float = 0.0,
+        error_seed: int = 2009,
+    ) -> ScenarioSpec:
+        """Spec for this scenario without building any systems."""
+        return ScenarioSpec(
+            cls.name,
+            {
+                "axes": [
+                    [
+                        space.name,
+                        np.asarray(space.targets, dtype=float).tolist(),
+                    ],
+                    ["error_magnitude", [float(m) for m in magnitudes]],
+                ],
+                "column": column,
+                "error_bias": float(error_bias),
+                "error_seed": int(error_seed),
+            },
+        )
+
+    def spec(self) -> ScenarioSpec:
+        return type(self).build_spec(
+            self._sel_axis,
+            self._magnitude_axis.targets,
+            column=self._requested_column,
+            error_bias=self.error_bias,
+            error_seed=self.error_seed,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, providers: list) -> "Scenario":
+        sel_axis, magnitude_axis = spec.spec_axes()
+        return cls(
+            providers,
+            sel_axis,
+            magnitudes=magnitude_axis.targets,
+            column=spec.params.get("column"),
+            error_bias=float(spec.params.get("error_bias", 0.0)),
+            error_seed=int(spec.params.get("error_seed", 2009)),
         )
 
 

@@ -42,6 +42,16 @@ from repro.storage.env import StorageEnv
 from repro.storage.table import SecondaryIndex, Table
 
 
+def _estimate(est: dict, key: str) -> float:
+    """Look up one cardinality estimate; missing keys are plan errors."""
+    try:
+        return float(est[key])
+    except KeyError:
+        raise PlanError(
+            f"plan costing needs estimate {key!r}; have {sorted(est)}"
+        ) from None
+
+
 class PlanNode(ABC):
     """Base class for all physical plan operators."""
 
@@ -53,6 +63,26 @@ class PlanNode(ABC):
 
     def children(self) -> tuple["PlanNode", ...]:
         return ()
+
+    def estimated_cost(self, model, est: dict) -> float:
+        """Compile-time cost under a cost model and cardinality estimates.
+
+        ``model`` is a :class:`~repro.optimizer.cost_model.CostModel`
+        (duck-typed so the executor stays free of optimizer imports);
+        ``est`` follows the ``rows.<column>`` / ``sel.<column>`` /
+        ``rows.out`` key convention of :mod:`repro.optimizer.estimation`.
+        Each node mirrors the charges its :meth:`execute` makes, with
+        true cardinalities replaced by the estimates.
+        """
+        raise PlanError(
+            f"plan {self.label!r} has no compile-time cost model"
+        )
+
+    def estimated_rows(self, est: dict) -> float:
+        """Estimated output cardinality under the same estimates."""
+        raise PlanError(
+            f"plan {self.label!r} has no output-cardinality estimate"
+        )
 
     def explain(self, indent: int = 0) -> str:
         """Indented textual plan tree (EXPLAIN output)."""
@@ -97,6 +127,23 @@ class TableScanNode(PlanNode):
         ctx.check_budget()
         return Result(rids, out)
 
+    def estimated_rows(self, est: dict) -> float:
+        if not self.predicates:
+            return float(self.table.n_rows)
+        return _estimate(est, "rows.out")
+
+    def estimated_cost(self, model, est: dict) -> float:
+        table = self.table
+        profile = model.profile
+        cost = model.sequential_read(table.n_pages)
+        cost += model.cpu(table.n_rows, profile.cpu_row)
+        if self.predicates:
+            cost += model.cpu(
+                table.n_rows * len(self.predicates), profile.cpu_predicate
+            )
+        cost += model.cpu(self.estimated_rows(est), profile.cpu_row)
+        return cost
+
 
 class IndexRangeRidsNode(PlanNode):
     """Range scan of a single-column index, emitting rids + key values."""
@@ -129,6 +176,19 @@ class IndexRangeRidsNode(PlanNode):
             np.asarray(rids, dtype=np.int64),
             {self.predicate.column: np.asarray(keys, dtype=np.int64)},
         )
+
+    def estimated_rows(self, est: dict) -> float:
+        return _estimate(est, f"rows.{self.predicate.column}")
+
+    def estimated_cost(self, model, est: dict) -> float:
+        rows = self.estimated_rows(est)
+        tree = self.index.tree
+        selectivity = rows / max(1, self.index.table.n_rows)
+        leaf_pages = max(1.0, selectivity * tree.n_leaf_pages)
+        cost = model.btree_descent(tree.height)
+        cost += model.sequential_read(leaf_pages)
+        cost += model.cpu(rows, model.profile.cpu_bitmap_op)
+        return cost
 
 
 class CompositeRangeRidsNode(PlanNode):
@@ -180,6 +240,22 @@ class CompositeRangeRidsNode(PlanNode):
                 self.trailing.column: trail_vals[mask],
             },
         )
+
+    def estimated_rows(self, est: dict) -> float:
+        return _estimate(est, "rows.out")
+
+    def estimated_cost(self, model, est: dict) -> float:
+        lead_sel = _estimate(est, f"sel.{self.leading.column}")
+        tree = self.index.tree
+        n_rows = self.index.table.n_rows
+        scanned = lead_sel * n_rows
+        leaf_pages = max(1.0, lead_sel * tree.n_leaf_pages)
+        profile = model.profile
+        cost = model.btree_descent(tree.height)
+        cost += model.sequential_read(leaf_pages)
+        cost += model.cpu(scanned, profile.cpu_predicate)
+        cost += model.cpu(self.estimated_rows(est), profile.cpu_bitmap_op)
+        return cost
 
 
 class FetchNode(PlanNode):
@@ -239,6 +315,39 @@ class FetchNode(PlanNode):
             columns=self.project,
             residual=self.residual,
         )
+
+    def estimated_rows(self, est: dict) -> float:
+        if self.verify_only or not self.residual:
+            return self.child.estimated_rows(est)
+        return _estimate(est, "rows.out")
+
+    def estimated_cost(self, model, est: dict) -> float:
+        rows_in = self.child.estimated_rows(est)
+        cost = self.child.estimated_cost(model, est)
+        table = self.table
+        profile = model.profile
+        distinct = model.distinct_pages(table.n_pages, rows_in)
+        if self.strategy.sort_rids:
+            cost += model.cpu(2 * rows_in, profile.cpu_bitmap_op)
+            cost += model.scattered_read(
+                table.n_pages, distinct, self.strategy.coalesce
+            )
+        else:
+            # Unsorted (index-key-ordered) fetches re-fault pages once the
+            # table outgrows the buffer pool: expected misses grow with
+            # the *row* count, not the distinct-page count.
+            pool_pages = table.env.pool.capacity_pages
+            if table.n_pages > pool_pages:
+                thrash = rows_in * (1.0 - pool_pages / table.n_pages)
+                distinct = max(distinct, thrash)
+            cost += model.random_reads(distinct)
+        cost += model.cpu(rows_in, profile.cpu_fetch_row)
+        if self.residual and not self.verify_only:
+            cost += model.cpu(
+                rows_in * len(self.residual), profile.cpu_predicate
+            )
+        cost += model.cpu(self.estimated_rows(est), profile.cpu_row)
+        return cost
 
 
 def _sort_rids_charged(
@@ -337,6 +446,23 @@ class RidIntersectNode(PlanNode):
         ctx.check_budget()
         return Result(np.asarray(common, dtype=np.int64), columns)
 
+    def estimated_rows(self, est: dict) -> float:
+        return _estimate(est, "rows.out")
+
+    def estimated_cost(self, model, est: dict) -> float:
+        rows_left = self.left.estimated_rows(est)
+        rows_right = self.right.estimated_rows(est)
+        cost = self.left.estimated_cost(model, est)
+        cost += self.right.estimated_cost(model, est)
+        if self.algorithm == "merge":
+            cost += model.rid_merge_cost(rows_left, rows_right)
+        elif self.build == "left":
+            cost += model.rid_hash_cost(rows_left, rows_right)
+        else:
+            cost += model.rid_hash_cost(rows_right, rows_left)
+        cost += model.cpu(self.estimated_rows(est), model.profile.cpu_row)
+        return cost
+
 
 class CoveringCompositeScanNode(PlanNode):
     """Covering scan of a composite index: plain range scan or MDAM.
@@ -382,6 +508,30 @@ class CoveringCompositeScanNode(PlanNode):
             )
         assert self._plain is not None
         return self._plain.execute(ctx)
+
+    def estimated_rows(self, est: dict) -> float:
+        return _estimate(est, "rows.out")
+
+    def estimated_cost(self, model, est: dict) -> float:
+        if not self.use_mdam:
+            assert self._plain is not None
+            return self._plain.estimated_cost(model, est)
+        codec: CompositeKeyCodec = self.index.codec  # type: ignore[assignment]
+        lead_sel = _estimate(est, f"sel.{self.leading.column}")
+        tree = self.index.tree
+        n_rows = self.index.table.n_rows
+        # One descent per distinct qualifying leading value, bounded by
+        # the qualifying leading rows; descents through pool-resident
+        # inner nodes land as short seeks between nearby leaf ranges.
+        domain = 1 << codec.bits[0]
+        probes = max(1.0, min(lead_sel * domain, lead_sel * n_rows))
+        out = self.estimated_rows(est)
+        profile = model.profile
+        cost = model.btree_descent(tree.height)
+        cost += model.settled_reads(min(probes, tree.n_leaf_pages))
+        cost += model.cpu(probes, profile.btree_probe_cpu)
+        cost += model.cpu(out, profile.cpu_bitmap_op + profile.cpu_row)
+        return cost
 
 
 class MdamScanNode(CoveringCompositeScanNode):
@@ -460,6 +610,26 @@ class CoveringRidJoinNode(PlanNode):
         ctx.check_budget()
         return Result(np.asarray(common, dtype=np.int64), columns)
 
+    def estimated_rows(self, est: dict) -> float:
+        # The rid join with the full value index preserves the child's
+        # qualifying rid set; it only adds the projected column.
+        return self.child.estimated_rows(est)
+
+    def estimated_cost(self, model, est: dict) -> float:
+        rows_child = self.child.estimated_rows(est)
+        n_index = float(self.value_index.table.n_rows)
+        cost = self.child.estimated_cost(model, est)
+        cost += model.sequential_read(self.value_index.n_leaf_pages)
+        cost += model.cpu(n_index, model.profile.cpu_row)
+        if self.algorithm == "merge":
+            cost += model.rid_merge_cost(rows_child, n_index)
+        elif self.build == "child":
+            cost += model.rid_hash_cost(rows_child, n_index)
+        else:
+            cost += model.rid_hash_cost(n_index, rows_child)
+        cost += model.cpu(rows_child, model.profile.cpu_row)
+        return cost
+
 
 class ExternalSortNode(PlanNode):
     """Sort a bound input array through :class:`ExternalSort`.
@@ -494,6 +664,18 @@ class ExternalSortNode(PlanNode):
         return Result(
             np.arange(sorted_result.values.size, dtype=np.int64),
             {"sorted": sorted_result.values},
+        )
+
+    def estimated_rows(self, est: dict) -> float:
+        # The input is bound at construction; "rows.input" lets an
+        # estimation sweep misjudge it anyway.
+        return float(est.get("rows.input", self.values.size))
+
+    def estimated_cost(self, model, est: dict) -> float:
+        return model.external_sort_cost(
+            self.estimated_rows(est),
+            self.row_bytes,
+            all_or_nothing=self.policy is SpillPolicy.ALL_OR_NOTHING,
         )
 
 

@@ -1,0 +1,278 @@
+"""Compile-time plan costing against the simulated device profile.
+
+The measurement loop deliberately has no optimizer ("we assume that query
+optimization is complete and the chosen query execution plan is fixed");
+this module adds the optimizer the paper's payoff analysis needs.  A
+:class:`CostModel` prices a :class:`~repro.executor.plans.PlanNode` tree
+from *estimated* cardinalities plus the same
+:class:`~repro.sim.profile.DeviceProfile` the execution simulator charges
+against — each node implements an ``estimated_cost(model, est)`` hook
+mirroring the charges its ``execute`` method makes, with cardinalities
+replaced by estimates.
+
+Estimates are plain dicts with the key convention of
+:mod:`repro.optimizer.estimation`: ``rows.<column>`` / ``sel.<column>``
+per predicate, ``rows.out`` for the query output, ``rows.build`` /
+``rows.probe`` for join inputs.
+
+:class:`CostQuirks` models the vendor-to-vendor disagreement the paper
+observed across its three systems: each
+:class:`~repro.systems.base.DatabaseSystem` carries its own fudge factors
+(how expensive the optimizer *believes* random I/O, CPU, or spilling to
+be), so Systems A, B, and C can pick different plans for the same query
+and the same estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.profile import DeviceProfile
+
+#: Bytes per in-memory rid-hash entry and per spilled rid row — mirrors
+#: the executor's constants in RidIntersectNode / CoveringRidJoinNode.
+RID_HASH_ENTRY_BYTES = 32
+RID_SPILL_ROW_BYTES = 16
+
+
+@dataclass(frozen=True)
+class CostQuirks:
+    """Per-vendor multipliers on the cost model's charge categories.
+
+    These are *beliefs*, not measurements: they shift where one
+    optimizer's plan-choice boundaries sit relative to another's, exactly
+    like the idiosyncratic constants real optimizers ship with.
+    """
+
+    random_io: float = 1.0
+    """Weight on random/settled page accesses (seeks, per-row fetches)."""
+
+    sequential_io: float = 1.0
+    """Weight on streamed sequential page transfers."""
+
+    cpu: float = 1.0
+    """Weight on per-row/per-comparison CPU charges."""
+
+    spill: float = 1.0
+    """Weight on temp-store spill passes (sort runs, hash partitions)."""
+
+
+class CostModel:
+    """Prices plan trees from estimates; all charges in virtual seconds.
+
+    ``memory_bytes`` is the workspace the optimizer assumes for sort and
+    hash operators (the compile-time counterpart of the sweep's
+    ``memory_bytes`` knob); it defaults to the profile's.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile | None = None,
+        memory_bytes: int | None = None,
+        quirks: CostQuirks | None = None,
+    ) -> None:
+        self.profile = profile or DeviceProfile()
+        self.memory_bytes = (
+            int(memory_bytes)
+            if memory_bytes is not None
+            else self.profile.memory_bytes
+        )
+        self.quirks = quirks or CostQuirks()
+
+    # ------------------------------------------------------------------
+    # charge categories (each scaled by the vendor's quirks)
+    # ------------------------------------------------------------------
+
+    def sequential_read(self, n_pages: float) -> float:
+        """One positioning plus a streamed run of ``n_pages``."""
+        if n_pages <= 0:
+            return 0.0
+        profile = self.profile
+        return self.quirks.sequential_io * (
+            profile.seek_time + n_pages * profile.page_transfer_time
+        )
+
+    def random_reads(self, n_pages: float) -> float:
+        """``n_pages`` cold random page reads (seek + transfer each)."""
+        if n_pages <= 0:
+            return 0.0
+        return self.quirks.random_io * n_pages * self.profile.random_page_time
+
+    def settled_reads(self, n_pages: float) -> float:
+        """``n_pages`` short-seek reads (the sorted-sweep fetch pattern)."""
+        if n_pages <= 0:
+            return 0.0
+        profile = self.profile
+        return self.quirks.random_io * n_pages * (
+            profile.settle_time + profile.page_transfer_time
+        )
+
+    def cpu(self, n_items: float, seconds_per_item: float) -> float:
+        return self.quirks.cpu * max(0.0, n_items) * seconds_per_item
+
+    def sort_cpu(self, n_rows: float) -> float:
+        """Comparison cost of sorting ``n_rows`` (n log2 n)."""
+        if n_rows <= 1:
+            return 0.0
+        return self.cpu(n_rows * math.log2(n_rows), self.profile.cpu_compare)
+
+    def pages_for(self, n_rows: float, row_bytes: int) -> float:
+        """Temp/spill pages occupied by ``n_rows`` of ``row_bytes``."""
+        if n_rows <= 0:
+            return 0.0
+        rows_per_page = max(1, self.profile.page_size // max(1, row_bytes))
+        return math.ceil(n_rows / rows_per_page)
+
+    def spill_pass(self, n_rows: float, row_bytes: int) -> float:
+        """Write ``n_rows`` to temp and stream them back (one round trip)."""
+        if n_rows <= 0:
+            return 0.0
+        pages = self.pages_for(n_rows, row_bytes)
+        return self.quirks.spill * 2.0 * (
+            self.profile.seek_time + pages * self.profile.page_transfer_time
+        )
+
+    # ------------------------------------------------------------------
+    # derived physical estimates
+    # ------------------------------------------------------------------
+
+    def distinct_pages(self, n_pages: int, n_rows: float) -> float:
+        """Expected distinct pages touched by ``n_rows`` uniform rids (Yao)."""
+        if n_pages <= 0 or n_rows <= 0:
+            return 0.0
+        if n_rows >= n_pages * 64:
+            return float(n_pages)
+        return n_pages * -math.expm1(n_rows * math.log1p(-1.0 / n_pages))
+
+    def scattered_read(
+        self, n_pages_file: int, n_distinct: float, coalesce: bool
+    ) -> float:
+        """A sorted sweep over ``n_distinct`` of a file's pages.
+
+        Mirrors :meth:`~repro.sim.disk.Disk.read_scattered`: consecutive
+        pages stream for free, forward gaps settle, and with ``coalesce``
+        the head reads through a gap whenever streaming the unwanted
+        pages is cheaper than repositioning (the improved index scan).
+        For uniformly scattered pages the fraction of *gapped* steps is
+        ``1 - density`` — a dense sweep converges to a sequential scan
+        instead of paying a settle per page.
+        """
+        if n_distinct <= 0:
+            return 0.0
+        profile = self.profile
+        n_distinct = min(float(n_distinct), float(n_pages_file))
+        density = n_distinct / max(1, n_pages_file)
+        n_gapped = n_distinct * max(0.0, 1.0 - density)
+        cost = self.quirks.random_io * profile.seek_time
+        cost += (
+            self.quirks.sequential_io
+            * n_distinct
+            * profile.page_transfer_time
+        )
+        if n_gapped > 0:
+            gap = (n_pages_file - n_distinct) / n_gapped + 1.0
+            per_gap = profile.settle_time
+            if coalesce:
+                per_gap = min(
+                    (gap - 1.0) * profile.page_transfer_time, per_gap
+                )
+            cost += self.quirks.random_io * n_gapped * per_gap
+        return cost
+
+    def sort_rids_cost(
+        self, n_rows: float, payload_bytes: int = RID_SPILL_ROW_BYTES
+    ) -> float:
+        """Sort a rid set, spilling one pass when it overflows memory."""
+        cost = self.sort_cpu(n_rows)
+        if n_rows * payload_bytes > self.memory_bytes:
+            cost += self.spill_pass(n_rows, payload_bytes)
+        return cost
+
+    def rid_merge_cost(self, rows_a: float, rows_b: float) -> float:
+        """Merge-intersect two rid sets: sort both, one merge pass."""
+        return (
+            self.sort_rids_cost(rows_a)
+            + self.sort_rids_cost(rows_b)
+            + self.cpu(rows_a + rows_b, self.profile.cpu_compare)
+        )
+
+    def rid_hash_cost(self, build_rows: float, probe_rows: float) -> float:
+        """Hash-intersect two rid sets: grace-spill both when the build
+        side's table overflows memory, then build + probe."""
+        cost = 0.0
+        if build_rows * RID_HASH_ENTRY_BYTES > self.memory_bytes:
+            cost += self.spill_pass(build_rows, RID_SPILL_ROW_BYTES)
+            cost += self.spill_pass(probe_rows, RID_SPILL_ROW_BYTES)
+        cost += self.cpu(build_rows, 2 * self.profile.cpu_hash)
+        cost += self.cpu(probe_rows, self.profile.cpu_hash)
+        return cost
+
+    def external_sort_cost(
+        self, n_rows: float, row_bytes: int, all_or_nothing: bool = False
+    ) -> float:
+        """Full external-sort cost under either spill policy."""
+        cost = self.sort_cpu(n_rows)
+        memory_rows = max(2, self.memory_bytes // max(1, row_bytes))
+        if n_rows <= memory_rows:
+            return cost
+        spilled = n_rows if all_or_nothing else n_rows - memory_rows
+        n_runs = max(1, math.ceil(spilled / memory_rows))
+        cost += self.spill_pass(spilled, row_bytes)
+        # Alternating between runs during the merge costs positioning
+        # per switch; charge one settle per run per merged memory-full.
+        switches = n_runs * max(1, math.ceil(spilled / memory_rows))
+        cost += self.quirks.spill * switches * self.profile.settle_time
+        merge_ways = n_runs + (0 if all_or_nothing else 1)
+        if merge_ways > 1:
+            cost += self.cpu(
+                n_rows * math.log2(merge_ways), self.profile.cpu_compare
+            )
+        return cost
+
+    def hash_join_cost(
+        self,
+        build_rows: float,
+        probe_rows: float,
+        entry_bytes: int,
+        row_bytes: int,
+        all_or_nothing: bool = False,
+    ) -> float:
+        """Build/probe hashing plus grace-partitioning spill passes."""
+        profile = self.profile
+        cost = self.cpu(build_rows, 2 * profile.cpu_hash)
+        cost += self.cpu(probe_rows, profile.cpu_hash)
+        available = max(1, self.memory_bytes)
+        if build_rows * entry_bytes <= available:
+            return cost
+        if all_or_nothing:
+            spilled_build = build_rows
+        else:
+            spilled_build = build_rows - available // entry_bytes
+        spilled_probe = (
+            probe_rows * spilled_build / build_rows if build_rows else 0.0
+        )
+        fanout = max(2, available // profile.page_size)
+        passes = 0
+        remaining = spilled_build * entry_bytes
+        while remaining > available:
+            passes += 1
+            remaining = math.ceil(remaining / fanout)
+        passes = max(1, passes)
+        for _ in range(passes):
+            cost += self.spill_pass(spilled_build, row_bytes)
+            cost += self.spill_pass(spilled_probe, row_bytes)
+            cost += self.cpu(spilled_build + spilled_probe, profile.cpu_hash)
+        return cost
+
+    def btree_descent(self, height: int) -> float:
+        """One cold root-to-leaf descent (random read per level + CPU)."""
+        return self.random_reads(max(1, height)) + self.cpu(
+            1, self.profile.btree_probe_cpu
+        )
+
+    # ------------------------------------------------------------------
+
+    def cost(self, plan, est: dict) -> float:
+        """Estimated virtual seconds for ``plan`` under the estimates."""
+        return float(plan.estimated_cost(self, est))

@@ -9,6 +9,9 @@ import numpy as np
 
 from repro.errors import PlanError
 from repro.executor.plans import PlanNode, PlanRunner
+from repro.optimizer.chooser import PlanChooser, SelectionPolicy
+from repro.optimizer.cost_model import CostModel, CostQuirks
+from repro.optimizer.estimation import Estimate
 from repro.sim.profile import DeviceProfile
 from repro.storage.env import StorageEnv
 from repro.storage.table import Table
@@ -44,6 +47,12 @@ class DatabaseSystem(ABC):
 
     name: str = "?"
     description: str = ""
+
+    cost_quirks: CostQuirks = CostQuirks()
+    """This vendor's cost-model beliefs (how expensive it *thinks*
+    random I/O, CPU, and spilling are).  Subclasses override so Systems
+    A, B, and C can disagree on plan choice for identical estimates,
+    like the paper's three vendors did."""
 
     def __init__(
         self,
@@ -118,6 +127,83 @@ class DatabaseSystem(ABC):
             budget_seconds=budget_seconds,
             cold=True,
         )
+
+    # ------------------------------------------------------------------
+    # the compile-time optimizer
+    # ------------------------------------------------------------------
+
+    def cost_model(self, memory_bytes: int | None = None) -> CostModel:
+        """This vendor's plan cost model (profile + quirks)."""
+        return CostModel(
+            self.config.profile,
+            memory_bytes=memory_bytes,
+            quirks=self.cost_quirks,
+        )
+
+    def true_cards(self, query) -> dict[str, float]:
+        """Oracle cardinalities for a query, in estimate-key form.
+
+        These are what a perfect estimator would produce; feed them
+        through a :class:`~repro.optimizer.estimation.CardinalityEstimator`
+        to model estimation error.
+        """
+        n_rows = self.table.n_rows
+        if isinstance(query, SinglePredicateQuery):
+            column = query.predicate.column
+            rows = float(query.oracle_rids(self.table).size)
+            return {
+                f"rows.{column}": rows,
+                f"sel.{column}": rows / n_rows,
+                "rows.out": rows,
+            }
+        if isinstance(query, TwoPredicateQuery):
+            rows_a = float(
+                np.count_nonzero(
+                    query.predicate_a.mask(self.table.column(query.a_column))
+                )
+            )
+            rows_b = float(
+                np.count_nonzero(
+                    query.predicate_b.mask(self.table.column(query.b_column))
+                )
+            )
+            return {
+                f"rows.{query.a_column}": rows_a,
+                f"sel.{query.a_column}": rows_a / n_rows,
+                f"rows.{query.b_column}": rows_b,
+                f"sel.{query.b_column}": rows_b / n_rows,
+                "rows.out": float(query.oracle_rids(self.table).size),
+            }
+        if isinstance(query, JoinQuery):
+            return {
+                "rows.build": float(query.n_build),
+                "rows.probe": float(query.n_probe),
+                "rows.out": float(query.oracle_matches()),
+            }
+        raise PlanError(
+            f"system {self.name} has no oracle cardinalities for "
+            f"{type(query).__name__}"
+        )
+
+    def choose_plan(
+        self,
+        query,
+        estimate: Estimate | None = None,
+        policy: SelectionPolicy | None = None,
+        memory_bytes: int | None = None,
+    ) -> tuple[str, PlanNode]:
+        """Pick one plan from :meth:`plans_for` under this vendor's model.
+
+        Without an explicit ``estimate`` the optimizer sees the oracle's
+        true cardinalities (a perfect estimator); the default policy is
+        the classic minimum-estimated-cost selection.
+        """
+        plans = self.plans_for(query)
+        if estimate is None:
+            estimate = Estimate(self.true_cards(query))
+        chooser = PlanChooser(self.cost_model(memory_bytes), policy)
+        plan_id = chooser.choose(plans, estimate)
+        return plan_id, plans[plan_id]
 
     def qualify(self, plan_id: str) -> str:
         """Namespace a plan id with the system name."""

@@ -7,14 +7,21 @@ bucket-colored heat maps (Figs 4-10).
 
 from repro.viz.colormap import (
     ABSOLUTE_TIME_SCALE,
+    CATEGORICAL_PALETTE,
     RELATIVE_FACTOR_SCALE,
     CENSORED_RGB,
+    CategoricalScale,
     ColorBucket,
     DiscreteScale,
     interpolate_rgb,
 )
 from repro.viz.ascii_art import curve_ascii, heatmap_ascii, legend_ascii
-from repro.viz.svg import SvgDocument, curves_svg, heatmap_svg
+from repro.viz.svg import (
+    SvgDocument,
+    categorical_heatmap_svg,
+    curves_svg,
+    heatmap_svg,
+)
 from repro.viz.png import encode_png, save_png, decode_png_size, rasterize_grid
 from repro.viz.legend import legend_svg, legend_pixels
 from repro.viz.figures import (
@@ -22,15 +29,21 @@ from repro.viz.figures import (
     relative_curves,
     absolute_heatmap,
     relative_heatmap,
+    choice_heatmap,
     counts_heatmap,
     heatmap_png_pixels,
+    plan_choice_scale,
+    regret_heatmap,
+    regret_png,
     save_heatmap_png,
 )
 
 __all__ = [
     "ABSOLUTE_TIME_SCALE",
+    "CATEGORICAL_PALETTE",
     "RELATIVE_FACTOR_SCALE",
     "CENSORED_RGB",
+    "CategoricalScale",
     "ColorBucket",
     "DiscreteScale",
     "interpolate_rgb",
@@ -38,6 +51,7 @@ __all__ = [
     "heatmap_ascii",
     "legend_ascii",
     "SvgDocument",
+    "categorical_heatmap_svg",
     "curves_svg",
     "heatmap_svg",
     "encode_png",
@@ -50,7 +64,11 @@ __all__ = [
     "relative_curves",
     "absolute_heatmap",
     "relative_heatmap",
+    "choice_heatmap",
     "counts_heatmap",
     "heatmap_png_pixels",
+    "plan_choice_scale",
+    "regret_heatmap",
+    "regret_png",
     "save_heatmap_png",
 ]

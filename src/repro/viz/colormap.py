@@ -1,20 +1,41 @@
-"""The paper's discrete color scales.
+"""The paper's discrete color scales, plus a categorical scale.
 
 Fig 3 maps *absolute* elapsed times to colors, "from green to red and
 finally black ... with each color difference indicating an order of
 magnitude".  Fig 6 does the same for *relative* factors, with a special
 light-green bucket for "Factor 1" (optimal).
+
+:class:`DiscreteScale` buckets *numeric* values; nominal data (which
+plan a choice map picked per cell) gets the explicit
+:class:`CategoricalScale` — a stable category-to-color assignment with
+no fake numeric boundaries, built once from the full inventory so the
+same plan keeps the same color across every panel of a figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import VisualizationError
 
 RGB = tuple[int, int, int]
+
+#: Distinct hues for categorical scales (plan identities, not magnitudes).
+CATEGORICAL_PALETTE: list[RGB] = [
+    (31, 119, 180),
+    (255, 127, 14),
+    (44, 160, 44),
+    (214, 39, 40),
+    (148, 103, 189),
+    (140, 86, 75),
+    (227, 119, 194),
+    (127, 127, 127),
+    (188, 189, 34),
+    (23, 190, 207),
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +97,109 @@ class DiscreteScale:
         indices = self.bucket_indices(values)
         palette = np.asarray([bucket.rgb for bucket in self.buckets], dtype=np.uint8)
         return palette[indices]
+
+    def legend_entries(self) -> list[tuple[RGB, str]]:
+        """(color, label) rows for legend renderers."""
+        return [(bucket.rgb, bucket.label) for bucket in self.buckets]
+
+
+class CategoricalScale:
+    """Stable category-to-color assignment for nominal data.
+
+    Categories are colored in the order given (first category, first
+    palette color) — build the scale once from the *full* inventory and
+    share it across subplots, and the same category is the same color in
+    every panel.  Unlike :class:`DiscreteScale` there are no numeric
+    bucket boundaries to abuse: lookups are exact, by category name or
+    by its index in the inventory.
+    """
+
+    def __init__(
+        self,
+        categories: Sequence[str],
+        title: str,
+        palette: Sequence[RGB] | None = None,
+    ) -> None:
+        categories = [str(category) for category in categories]
+        if not categories:
+            raise VisualizationError("a categorical scale needs categories")
+        if len(set(categories)) != len(categories):
+            raise VisualizationError(
+                f"duplicate categories: {sorted(categories)}"
+            )
+        palette = list(palette) if palette is not None else CATEGORICAL_PALETTE
+        self.categories = categories
+        self.title = title
+        self._rgb = {
+            category: self._palette_color(palette, index)
+            for index, category in enumerate(categories)
+        }
+
+    @staticmethod
+    def _palette_color(palette: Sequence[RGB], index: int) -> RGB:
+        """Distinct color per category even past the palette's length.
+
+        Wrapping around silently would alias two categories to one
+        color; instead every wrap darkens the recycled hue, keeping the
+        assignment injective (and deterministic) for any inventory size
+        this repo draws.
+        """
+        base = palette[index % len(palette)]
+        wraps = index // len(palette)
+        if wraps == 0:
+            return base
+        factor = 0.62**wraps
+        return (
+            int(base[0] * factor),
+            int(base[1] * factor),
+            int(base[2] * factor),
+        )
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.categories)
+
+    def index_of(self, category: str) -> int:
+        try:
+            return self.categories.index(category)
+        except ValueError:
+            raise VisualizationError(
+                f"unknown category {category!r}; have {self.categories}"
+            ) from None
+
+    def color_for(self, category: str) -> RGB:
+        if category not in self._rgb:
+            raise VisualizationError(
+                f"unknown category {category!r}; have {self.categories}"
+            )
+        return self._rgb[category]
+
+    def color_for_index(self, index: int) -> RGB:
+        if not 0 <= index < len(self.categories):
+            raise VisualizationError(
+                f"category index {index} out of range "
+                f"[0, {len(self.categories)})"
+            )
+        return self._rgb[self.categories[index]]
+
+    def colorize_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Map an integer index array to RGB uint8 (shape + (3,))."""
+        indices = np.asarray(indices)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.n_categories
+        ):
+            raise VisualizationError("category index out of range")
+        palette = np.asarray(
+            [self._rgb[category] for category in self.categories],
+            dtype=np.uint8,
+        )
+        return palette[indices]
+
+    def legend_entries(self) -> list[tuple[RGB, str]]:
+        """(color, label) rows for legend renderers."""
+        return [
+            (self._rgb[category], category) for category in self.categories
+        ]
 
 
 #: Color used for cells whose measurement was censored by the budget.

@@ -12,17 +12,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.mapdata import MapData
+from repro.core.choice import ChoiceMap
+from repro.core.mapdata import MapAxis, MapData
 from repro.core.maps import quotient_for, relative_to_best
 from repro.errors import VisualizationError
 from repro.viz.colormap import (
     ABSOLUTE_TIME_SCALE,
     CENSORED_RGB,
     RELATIVE_FACTOR_SCALE,
+    CategoricalScale,
     DiscreteScale,
 )
 from repro.viz.png import rasterize_grid, save_png
-from repro.viz.svg import curves_svg, heatmap_svg
+from repro.viz.svg import categorical_heatmap_svg, curves_svg, heatmap_svg
 
 
 def _exponents(targets: np.ndarray) -> np.ndarray:
@@ -97,14 +99,18 @@ def absolute_heatmap(
     """Fig 4 / Fig 5 style: one plan's absolute cost over a 2-D grid."""
     grid = _require_2d(mapdata).times_for(plan_id)
     x_label, y_label = _heatmap_labels(mapdata)
+    ticks = _heatmap_tick_kwargs(mapdata)
+    exponents = np.zeros(grid.shape[0]), np.zeros(grid.shape[1])
+    if not ticks:
+        exponents = _exponents(mapdata.x_achieved), _exponents(mapdata.y_achieved)
     svg = heatmap_svg(
         grid,
         scale,
         title,
-        _exponents(mapdata.x_achieved),
-        _exponents(mapdata.y_achieved),
+        *exponents,
         x_label=x_label,
         y_label=y_label,
+        **ticks,
     )
     if path is not None:
         Path(path).write_text(svg)
@@ -124,14 +130,18 @@ def relative_heatmap(
     quotient = quotient_for(mapdata, plan_id, baseline_ids)
     grid = np.where(np.isinf(quotient), np.nan, quotient)
     x_label, y_label = _heatmap_labels(mapdata)
+    ticks = _heatmap_tick_kwargs(mapdata)
+    exponents = np.zeros(grid.shape[0]), np.zeros(grid.shape[1])
+    if not ticks:
+        exponents = _exponents(mapdata.x_achieved), _exponents(mapdata.y_achieved)
     svg = heatmap_svg(
         grid,
         scale,
         title,
-        _exponents(mapdata.x_achieved),
-        _exponents(mapdata.y_achieved),
+        *exponents,
         x_label=x_label,
         y_label=y_label,
+        **ticks,
     )
     if path is not None:
         Path(path).write_text(svg)
@@ -169,6 +179,117 @@ def counts_heatmap(
     if path is not None:
         Path(path).write_text(svg)
     return svg
+
+
+def _axis_tick_labels(axis: MapAxis) -> list[str]:
+    """Human tick labels for one axis: log2 for selectivities, plain else.
+
+    Selectivity axes (including the legacy synthesized ``x``/``y`` names)
+    keep the paper's ``2^e`` rendering; other quantities — error
+    magnitudes, memory budgets, row counts — print their plain values,
+    and in particular never feed 0 into a logarithm.
+    """
+    values = axis.values
+    log_scaled = axis.name.startswith("sel") or axis.name in ("x", "y")
+    if log_scaled and values.size and np.all(values > 0):
+        return [f"2^{np.log2(v):.0f}" for v in values]
+    return [f"{v:g}" for v in values]
+
+
+def _heatmap_tick_kwargs(mapdata: MapData) -> dict:
+    """Tick-label overrides for a 2-D map's axes (empty: legacy path)."""
+    axes = mapdata.axes or []
+    if len(axes) < 2:
+        return {}
+    return {
+        "x_tick_labels": _axis_tick_labels(axes[0]),
+        "y_tick_labels": _axis_tick_labels(axes[1]),
+    }
+
+
+def plan_choice_scale(
+    plan_ids: list[str], title: str = "Chosen plan"
+) -> CategoricalScale:
+    """The shared plan-identity color scale for a set of choice panels.
+
+    Build it once from the *full* inventory and pass it to every
+    :func:`choice_heatmap` of a figure, so the same plan is the same
+    color in every panel regardless of which plans each policy uses.
+    """
+    return CategoricalScale(plan_ids, title)
+
+
+def choice_heatmap(
+    choice: ChoiceMap,
+    title: str,
+    scale: CategoricalScale | None = None,
+    path: str | Path | None = None,
+) -> str:
+    """Categorical map of which plan a policy picked at each cell."""
+    if not choice.is_2d:
+        raise VisualizationError("choice_heatmap needs a 2-D choice map")
+    scale = scale or plan_choice_scale(choice.plan_ids)
+    if scale.categories != choice.plan_ids:
+        raise VisualizationError(
+            "scale categories must match the choice map's plan inventory"
+        )
+    x_axis, y_axis = choice.axes
+    svg = categorical_heatmap_svg(
+        choice.choices,
+        scale,
+        title,
+        _axis_tick_labels(x_axis),
+        _axis_tick_labels(y_axis),
+        x_label=x_axis.name,
+        y_label=y_axis.name,
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def regret_heatmap(
+    choice: ChoiceMap,
+    title: str,
+    scale: DiscreteScale = RELATIVE_FACTOR_SCALE,
+    path: str | Path | None = None,
+) -> str:
+    """Factor-of-best map of a policy's chosen plans (white: undefined).
+
+    Infinite regret (the policy picked a censored plan) falls into the
+    scale's last bucket; cells where *no* plan has an uncensored
+    measurement are NaN and render white.
+    """
+    if not choice.is_2d:
+        raise VisualizationError("regret_heatmap needs a 2-D choice map")
+    x_axis, y_axis = choice.axes
+    svg = heatmap_svg(
+        choice.regret,
+        scale,
+        title,
+        np.zeros(x_axis.n_points),
+        np.zeros(y_axis.n_points),
+        x_label=x_axis.name,
+        y_label=y_axis.name,
+        x_tick_labels=_axis_tick_labels(x_axis),
+        y_tick_labels=_axis_tick_labels(y_axis),
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def regret_png(
+    choice: ChoiceMap,
+    scale: DiscreteScale = RELATIVE_FACTOR_SCALE,
+    cell_px: int = 16,
+) -> bytes:
+    """The regret map as PNG bytes (same color policy as the SVG)."""
+    if not choice.is_2d:
+        raise VisualizationError("regret_png needs a 2-D choice map")
+    from repro.viz.png import encode_png
+
+    return encode_png(heatmap_png_pixels(choice.regret, scale, cell_px))
 
 
 def heatmap_png_pixels(

@@ -1,32 +1,43 @@
 """Standalone color-code legends (the paper's Figures 3 and 6).
 
 The paper devotes two figures purely to its color scales; these renderers
-regenerate them as SVG and PNG artifacts.
+regenerate them as SVG and PNG artifacts.  Any scale exposing
+``legend_entries()`` and ``title`` renders — the numeric
+:class:`~repro.viz.colormap.DiscreteScale` and the nominal
+:class:`~repro.viz.colormap.CategoricalScale` (plan identities of the
+choice maps) alike.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.viz.colormap import DiscreteScale
+from repro.viz.colormap import CategoricalScale, DiscreteScale
 from repro.viz.png import rasterize_grid
 from repro.viz.svg import SvgDocument
 
+AnyScale = DiscreteScale | CategoricalScale
 
-def legend_svg(scale: DiscreteScale) -> str:
+
+def legend_svg(scale: AnyScale) -> str:
     """Vertical swatch column with labels, like the paper's Fig 3 / Fig 6."""
+    entries = scale.legend_entries()
     row_h, swatch = 30, 20
-    width, height = 330, 40 + row_h * scale.n_buckets
+    label_px = max(len(label) for _rgb, label in entries) * 7
+    width = max(330, 16 + swatch + 12 + label_px + 16)
+    height = 40 + row_h * len(entries)
     doc = SvgDocument(width, height)
     doc.text(16, 24, scale.title, size=14)
-    for index, bucket in enumerate(scale.buckets):
+    for index, (rgb, label) in enumerate(entries):
         y = 40 + index * row_h
-        doc.rect(16, y, swatch, swatch, bucket.rgb, stroke=(120, 120, 120))
-        doc.text(16 + swatch + 12, y + swatch - 5, bucket.label, size=12)
+        doc.rect(16, y, swatch, swatch, rgb, stroke=(120, 120, 120))
+        doc.text(16 + swatch + 12, y + swatch - 5, label, size=12)
     return doc.to_string()
 
 
-def legend_pixels(scale: DiscreteScale, cell_px: int = 24) -> np.ndarray:
-    """The swatch column as raw pixels (one cell per bucket, top=first)."""
-    cells = np.asarray([[bucket.rgb] for bucket in scale.buckets], dtype=np.uint8)
+def legend_pixels(scale: AnyScale, cell_px: int = 24) -> np.ndarray:
+    """The swatch column as raw pixels (one cell per entry, top=first)."""
+    cells = np.asarray(
+        [[rgb] for rgb, _label in scale.legend_entries()], dtype=np.uint8
+    )
     return rasterize_grid(cells, cell_px)

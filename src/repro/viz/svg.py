@@ -195,6 +195,65 @@ def curves_svg(
     return doc.to_string()
 
 
+def _heatmap_frame(
+    doc: SvgDocument,
+    nx: int,
+    ny: int,
+    cell: int,
+    margin_left: int,
+    margin_top: int,
+    x_tick_labels: list[str],
+    y_tick_labels: list[str],
+    x_label: str,
+    y_label: str,
+) -> None:
+    """Tick labels and axis titles shared by all heat-map styles."""
+    for ix in range(0, nx, max(1, nx // 8)):
+        doc.text(
+            margin_left + ix * cell + cell / 2,
+            margin_top + ny * cell + 16,
+            x_tick_labels[ix],
+            size=10,
+            anchor="middle",
+        )
+    for iy in range(0, ny, max(1, ny // 8)):
+        doc.text(
+            margin_left - 6,
+            margin_top + (ny - 1 - iy) * cell + cell / 2 + 4,
+            y_tick_labels[iy],
+            size=10,
+            anchor="end",
+        )
+    doc.text(
+        margin_left + nx * cell / 2,
+        margin_top + ny * cell + 40,
+        x_label,
+        size=12,
+        anchor="middle",
+    )
+    doc.text(18, margin_top + ny * cell / 2, y_label, size=12, anchor="middle")
+
+
+def _heatmap_legend(
+    doc: SvgDocument,
+    scale,
+    legend_x: int,
+    margin_top: int,
+    censored_row: bool,
+) -> None:
+    """One legend row per scale entry, optionally plus the censored row."""
+    doc.text(legend_x, margin_top - 6, scale.title, size=12)
+    entries = list(scale.legend_entries())
+    for e_index, (rgb, label) in enumerate(entries):
+        y = margin_top + e_index * 22
+        doc.rect(legend_x, y, 16, 16, rgb, stroke=(150, 150, 150))
+        doc.text(legend_x + 24, y + 12, label, size=11)
+    if censored_row:
+        censored_y = margin_top + len(entries) * 22
+        doc.rect(legend_x, censored_y, 16, 16, CENSORED_RGB, stroke=(150, 150, 150))
+        doc.text(legend_x + 24, censored_y + 12, "censored (over budget)", size=11)
+
+
 def heatmap_svg(
     grid: np.ndarray,
     scale: DiscreteScale,
@@ -204,16 +263,27 @@ def heatmap_svg(
     x_label: str = "selectivity A",
     y_label: str = "selectivity B",
     cell: int = 26,
+    x_tick_labels: list[str] | None = None,
+    y_tick_labels: list[str] | None = None,
 ) -> str:
     """Bucket-colored 2-D map (the Fig 4-9 style), NaN cells white.
 
     ``grid[ix, iy]``: ix runs along the x axis (left->right), iy along the
-    y axis (bottom->top), matching the paper's orientation.
+    y axis (bottom->top), matching the paper's orientation.  Tick labels
+    default to the ``2^e`` rendering of the exponent arrays; pass
+    ``x_tick_labels`` / ``y_tick_labels`` for axes that are not
+    log2-scaled (error magnitudes, memory budgets, ...).
     """
     grid = np.asarray(grid, dtype=float)
     if grid.ndim != 2:
         raise VisualizationError(f"heatmap needs a 2-D grid, got {grid.shape}")
     nx, ny = grid.shape
+    if x_tick_labels is None:
+        x_tick_labels = [f"2^{x_exponents[ix]:.0f}" for ix in range(nx)]
+    if y_tick_labels is None:
+        y_tick_labels = [f"2^{y_exponents[iy]:.0f}" for iy in range(ny)]
+    if len(x_tick_labels) != nx or len(y_tick_labels) != ny:
+        raise VisualizationError("tick label counts must match the grid")
     margin_left, margin_top = 80, 46
     legend_w = 230
     width = margin_left + nx * cell + legend_w
@@ -228,40 +298,61 @@ def heatmap_svg(
             x = margin_left + ix * cell
             y = margin_top + (ny - 1 - iy) * cell
             doc.rect(x, y, cell, cell, color, stroke=(230, 230, 230))
-    # Axis tick labels (log2 exponents of the selectivities).
-    step = max(1, nx // 8)
-    for ix in range(0, nx, step):
-        doc.text(
-            margin_left + ix * cell + cell / 2,
-            margin_top + ny * cell + 16,
-            f"2^{x_exponents[ix]:.0f}",
-            size=10,
-            anchor="middle",
-        )
-    for iy in range(0, ny, max(1, ny // 8)):
-        doc.text(
-            margin_left - 6,
-            margin_top + (ny - 1 - iy) * cell + cell / 2 + 4,
-            f"2^{y_exponents[iy]:.0f}",
-            size=10,
-            anchor="end",
-        )
-    doc.text(
-        margin_left + nx * cell / 2,
-        margin_top + ny * cell + 40,
-        x_label,
-        size=12,
-        anchor="middle",
+    _heatmap_frame(
+        doc, nx, ny, cell, margin_left, margin_top,
+        x_tick_labels, y_tick_labels, x_label, y_label,
     )
-    doc.text(18, margin_top + ny * cell / 2, y_label, size=12, anchor="middle")
-    # Legend.
-    legend_x = margin_left + nx * cell + 24
-    doc.text(legend_x, margin_top - 6, scale.title, size=12)
-    for b_index, bucket in enumerate(scale.buckets):
-        y = margin_top + b_index * 22
-        doc.rect(legend_x, y, 16, 16, bucket.rgb, stroke=(150, 150, 150))
-        doc.text(legend_x + 24, y + 12, bucket.label, size=11)
-    censored_y = margin_top + scale.n_buckets * 22
-    doc.rect(legend_x, censored_y, 16, 16, CENSORED_RGB, stroke=(150, 150, 150))
-    doc.text(legend_x + 24, censored_y + 12, "censored (over budget)", size=11)
+    _heatmap_legend(
+        doc, scale, margin_left + nx * cell + 24, margin_top, censored_row=True
+    )
+    return doc.to_string()
+
+
+def categorical_heatmap_svg(
+    indices: np.ndarray,
+    scale,
+    title: str,
+    x_tick_labels: list[str],
+    y_tick_labels: list[str],
+    x_label: str = "selectivity",
+    y_label: str = "",
+    cell: int = 26,
+) -> str:
+    """Category-colored 2-D map (choice maps): exact index lookups.
+
+    ``indices[ix, iy]`` are indices into the scale's category inventory
+    (a :class:`~repro.viz.colormap.CategoricalScale`); negative entries
+    render as "no choice" white cells.  Orientation matches
+    :func:`heatmap_svg`.
+    """
+    indices = np.asarray(indices)
+    if indices.ndim != 2:
+        raise VisualizationError(
+            f"categorical heatmap needs a 2-D grid, got {indices.shape}"
+        )
+    nx, ny = indices.shape
+    if len(x_tick_labels) != nx or len(y_tick_labels) != ny:
+        raise VisualizationError("tick label counts must match the grid")
+    margin_left, margin_top = 80, 46
+    legend_w = 250
+    width = margin_left + nx * cell + legend_w
+    height = margin_top + ny * cell + 60
+    doc = SvgDocument(width, height)
+    doc.text((margin_left + nx * cell) / 2 + 20, 24, title, size=15, anchor="middle")
+    for ix in range(nx):
+        for iy in range(ny):
+            index = int(indices[ix, iy])
+            color = (
+                CENSORED_RGB if index < 0 else scale.color_for_index(index)
+            )
+            x = margin_left + ix * cell
+            y = margin_top + (ny - 1 - iy) * cell
+            doc.rect(x, y, cell, cell, color, stroke=(230, 230, 230))
+    _heatmap_frame(
+        doc, nx, ny, cell, margin_left, margin_top,
+        x_tick_labels, y_tick_labels, x_label, y_label,
+    )
+    _heatmap_legend(
+        doc, scale, margin_left + nx * cell + 24, margin_top, censored_row=False
+    )
     return doc.to_string()

@@ -287,3 +287,132 @@ def test_corrupt_fingerprint_triggers_recompute(tmp_path):
     recomputed = BenchSession(config).single_predicate_map()
     assert recomputed.meta["config_fingerprint"] == config.fingerprint()
     assert np.array_equal(recomputed.times, computed.times, equal_nan=True)
+
+
+# ---------------------------------------------------------------------------
+# estimation scenario, choice maps, and the error-model fingerprint
+# ---------------------------------------------------------------------------
+
+
+def test_error_model_knobs_are_fingerprinted(tmp_path):
+    base = tiny_config(tmp_path)
+    for change in (
+        {"error_magnitudes": (0.0, 1.0)},
+        {"error_bias": 0.5},
+        {"error_seed": 7},
+    ):
+        assert tiny_config(tmp_path, **change).fingerprint() != base.fingerprint()
+
+
+def test_available_scenarios_helper():
+    available = BenchSession.available_scenarios()
+    assert available == sorted(BenchSession.SCENARIO_MAPS)
+    assert "estimation" in available
+
+
+def test_estimation_map_cached_and_validated(tmp_path):
+    config = tiny_config(tmp_path, error_magnitudes=(0.0, 2.0))
+    session = BenchSession(config)
+    mapdata = session.scenario_map("estimation")
+    assert mapdata.grid_shape == (3, 2)
+    assert [axis.name for axis in mapdata.axes] == [
+        "selectivity",
+        "error_magnitude",
+    ]
+    cache_file = config.cache_path("scenario_estimation")
+    assert cache_file is not None and cache_file.exists()
+    reloaded = BenchSession(config).scenario_map("estimation")
+    assert np.array_equal(mapdata.times, reloaded.times, equal_nan=True)
+
+
+def test_choice_maps_deterministic_across_sessions(tmp_path):
+    config = tiny_config(tmp_path, error_magnitudes=(0.0, 2.0))
+    first = BenchSession(config).choice_maps()
+    second = BenchSession(config).choice_maps()
+    assert sorted(first) == [
+        "min-estimated-cost",
+        "min-worst-regret",
+        "penalty-aware",
+    ]
+    for name in first:
+        assert np.array_equal(first[name].choices, second[name].choices)
+        assert np.array_equal(
+            first[name].regret, second[name].regret, equal_nan=True
+        )
+        # Same session: memoized object identity.
+        session = BenchSession(config)
+        assert session.choice_maps()[name] is session.choice_maps()[name]
+
+
+def test_choice_maps_zero_error_column_matches_truth(tmp_path):
+    """At magnitude 0 every policy sees exact estimates, so the classic
+    policy's regret column equals its zero-uncertainty robust twin's."""
+    config = tiny_config(tmp_path, error_magnitudes=(0.0, 3.0))
+    choices = BenchSession(config).choice_maps()
+    classic = choices["min-estimated-cost"]
+    robust = choices["min-worst-regret"]
+    assert np.array_equal(classic.choices[:, 0], robust.choices[:, 0])
+
+
+def test_cli_estimation_regret_smoke(tmp_path, monkeypatch):
+    from repro.bench import cli
+
+    monkeypatch.setenv("REPRO_BENCH_ROWS", "512")
+    monkeypatch.setenv("REPRO_BENCH_MIN_EXP_2D", "-2")
+    out_dir = tmp_path / "out"
+    code = cli.main([str(out_dir), "--scenario", "estimation", "--regret"])
+    assert code == 0
+    names = {p.name for p in out_dir.iterdir()}
+    assert "scenario_estimation.json" in names
+    for policy in ("min-estimated-cost", "min-worst-regret", "penalty-aware"):
+        assert f"choice_{policy}.svg" in names
+        assert f"choice_{policy}.json" in names
+        assert f"regret_{policy}.svg" in names
+        assert f"regret_{policy}.png" in names
+
+
+def test_cli_regret_requires_estimation(tmp_path, capsys):
+    from repro.bench import cli
+
+    code = cli.main([str(tmp_path), "--scenario", "join", "--regret"])
+    assert code == 2
+    assert "estimation" in capsys.readouterr().err
+
+
+def test_cli_unknown_scenario_lists_available(tmp_path, capsys):
+    from repro.bench import cli
+
+    code = cli.main([str(tmp_path), "--scenario", "nope"])
+    assert code == 2
+    err = capsys.readouterr().err
+    for name in BenchSession.available_scenarios():
+        assert name in err
+
+
+def test_choice_maps_bit_identical_serial_vs_parallel(tmp_path):
+    """The acceptance contract: choice/regret maps do not depend on the
+    sweep path (serial vs worker processes) or on cache reuse."""
+    overrides = dict(error_magnitudes=(0.0, 2.0))
+    serial = BenchSession(
+        tiny_config(tmp_path / "s", **overrides)
+    ).choice_maps()
+    parallel = BenchSession(
+        tiny_config(tmp_path / "p", n_workers=2, **overrides)
+    ).choice_maps()
+    assert sorted(serial) == sorted(parallel)
+    for name in serial:
+        assert serial[name].plan_ids == parallel[name].plan_ids
+        assert np.array_equal(serial[name].choices, parallel[name].choices)
+        assert np.array_equal(
+            serial[name].regret, parallel[name].regret, equal_nan=True
+        )
+
+
+def test_choice_maps_distinguish_policy_parameters(tmp_path):
+    from repro.optimizer import PenaltyAware
+
+    session = BenchSession(tiny_config(tmp_path, error_magnitudes=(0.0, 2.0)))
+    heavy = session.choice_maps([PenaltyAware(penalty_weight=5.0)])
+    light = session.choice_maps([PenaltyAware(penalty_weight=0.0)])
+    # Different parameters must never share one memoized map object.
+    assert heavy["penalty-aware"] is not light["penalty-aware"]

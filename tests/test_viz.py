@@ -254,3 +254,138 @@ def test_legend_ascii_mentions_buckets():
     text = legend_ascii(ABSOLUTE_TIME_SCALE)
     assert "0.001-0.01 seconds" in text
     assert "censored" in text
+
+
+# ---------------------------------------------------------------------------
+# categorical scale and choice/regret rendering
+# ---------------------------------------------------------------------------
+
+
+def test_categorical_scale_stable_assignment():
+    from repro.viz import CategoricalScale
+
+    scale = CategoricalScale(["A.scan", "A.index", "A.hash"], "Chosen plan")
+    assert scale.n_categories == 3
+    assert scale.color_for("A.scan") == scale.color_for_index(0)
+    assert scale.index_of("A.hash") == 2
+    # Stable: the same inventory yields the same colors in every panel.
+    again = CategoricalScale(["A.scan", "A.index", "A.hash"], "other panel")
+    assert [again.color_for(c) for c in again.categories] == [
+        scale.color_for(c) for c in scale.categories
+    ]
+
+
+def test_categorical_scale_rejects_bad_input():
+    from repro.viz import CategoricalScale
+
+    with pytest.raises(VisualizationError):
+        CategoricalScale([], "empty")
+    with pytest.raises(VisualizationError):
+        CategoricalScale(["a", "a"], "dup")
+    scale = CategoricalScale(["a", "b"], "t")
+    with pytest.raises(VisualizationError):
+        scale.color_for("missing")
+    with pytest.raises(VisualizationError):
+        scale.color_for_index(2)
+    with pytest.raises(VisualizationError):
+        scale.colorize_indices(np.asarray([0, 2]))
+
+
+def test_categorical_colorize_indices():
+    from repro.viz import CategoricalScale
+
+    scale = CategoricalScale(["a", "b"], "t")
+    rgb = scale.colorize_indices(np.asarray([[0, 1], [1, 0]]))
+    assert rgb.shape == (2, 2, 3)
+    assert tuple(rgb[0, 0]) == scale.color_for("a")
+    assert tuple(rgb[0, 1]) == scale.color_for("b")
+
+
+def test_legend_svg_renders_categorical_scale():
+    from repro.viz import CategoricalScale
+
+    scale = CategoricalScale(["A.table_scan", "A.idx_improved"], "Chosen plan")
+    svg = legend_svg(scale)
+    _parse(svg)
+    assert "A.table_scan" in svg and "A.idx_improved" in svg
+    pixels = legend_pixels(scale, cell_px=2)
+    assert pixels.shape == (2 * 2, 2, 3)
+
+
+def test_categorical_heatmap_svg():
+    from repro.viz import CategoricalScale, categorical_heatmap_svg
+
+    scale = CategoricalScale(["a", "b"], "Chosen plan")
+    indices = np.asarray([[0, 1], [1, -1]])  # -1: no choice (white)
+    svg = categorical_heatmap_svg(
+        indices, scale, "choices", ["x0", "x1"], ["y0", "y1"]
+    )
+    _parse(svg)
+    assert "rgb(255,255,255)" in svg  # the -1 cell
+    with pytest.raises(VisualizationError):
+        categorical_heatmap_svg(indices, scale, "t", ["x0"], ["y0", "y1"])
+
+
+def test_choice_and_regret_heatmaps_from_choice_map():
+    from repro.core.choice import ChoiceMap
+    from repro.core.mapdata import MapAxis
+    from repro.viz.figures import (
+        choice_heatmap,
+        plan_choice_scale,
+        regret_heatmap,
+    )
+
+    choice = ChoiceMap(
+        policy="classic",
+        plan_ids=["A.scan", "A.index"],
+        choices=np.asarray([[0, 1], [1, 1]]),
+        regret=np.asarray([[1.0, 2.0], [np.inf, np.nan]]),
+        axes=[
+            MapAxis("selectivity", [0.25, 0.5]),
+            MapAxis("error_magnitude", [0.0, 1.0]),
+        ],
+    )
+    scale = plan_choice_scale(choice.plan_ids)
+    svg = choice_heatmap(choice, "choices", scale=scale)
+    _parse(svg)
+    assert "2^-2" in svg  # selectivity ticks render as powers of two
+    assert "error_magnitude" in svg
+    regret_svg = regret_heatmap(choice, "regret")
+    _parse(regret_svg)
+    assert "rgb(255,255,255)" in regret_svg  # the NaN cell renders white
+    # The scale must cover the full inventory, shared across panels.
+    with pytest.raises(VisualizationError):
+        choice_heatmap(choice, "t", scale=plan_choice_scale(["A.scan"]))
+
+
+def test_heatmap_svg_custom_tick_labels():
+    grid = np.full((2, 2), 0.005)
+    svg = heatmap_svg(
+        grid,
+        ABSOLUTE_TIME_SCALE,
+        "t",
+        np.zeros(2),
+        np.zeros(2),
+        x_tick_labels=["lo", "hi"],
+        y_tick_labels=["0", "3"],
+    )
+    _parse(svg)
+    assert ">lo<" in svg and ">hi<" in svg
+    with pytest.raises(VisualizationError):
+        heatmap_svg(
+            grid,
+            ABSOLUTE_TIME_SCALE,
+            "t",
+            np.zeros(2),
+            np.zeros(2),
+            x_tick_labels=["only-one"],
+        )
+
+
+def test_categorical_scale_stays_injective_past_the_palette():
+    from repro.viz import CATEGORICAL_PALETTE, CategoricalScale
+
+    categories = [f"plan{i}" for i in range(3 * len(CATEGORICAL_PALETTE))]
+    scale = CategoricalScale(categories, "big inventory")
+    colors = [scale.color_for(category) for category in categories]
+    assert len(set(colors)) == len(categories)
