@@ -4,7 +4,27 @@ Unlike the figure benches (which regenerate the paper's diagrams on the
 *virtual* clock), these measure the real Python/NumPy cost of the
 substrate's hot paths — useful for keeping the simulator fast enough to
 sweep large grids.
+
+Run as a script to compare the batched execution core against the
+sequential reference paths and record the trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_micro_operators.py \
+        [--out BENCH_executor.json] [--require-speedup 10]
+
+The artifact holds cells/sec (cold plan measurements per second) before
+and after batching for each operator, verifies the virtual-clock results
+are bit-identical in both modes, and fails the ``--require-speedup``
+gate if the scan or INL-join operator falls short.
+``bench_optimizer_choice.py --executor-out`` merges its policy
+throughput into the same artifact.
 """
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -13,11 +33,16 @@ from repro.executor import (
     ADAPTIVE_PREFETCH,
     ColumnRange,
     ExecContext,
+    ExternalSortNode,
+    FetchNode,
     IndexRangeRidsNode,
     MdamScanNode,
+    NAIVE_FETCH,
     PlanRunner,
     TableScanNode,
+    use_batched,
 )
+from repro.executor.joins import join_plan_inventory
 from repro.sim.profile import DeviceProfile
 from repro.storage import StorageEnv, Table
 
@@ -108,3 +133,159 @@ def bench_bulk_load_btree(benchmark):
         return BPlusTree(env, "t", entry_bytes=16).bulk_load(keys, payload)
 
     benchmark(build)
+
+
+def bench_inl_join_plan(setup, benchmark):
+    env, table = setup
+    build_keys = np.random.default_rng(3).integers(0, 500, 1500)
+    probe_keys = np.random.default_rng(4).integers(0, 500, 4000)
+    plan = join_plan_inventory(build_keys, probe_keys)["join.inl"]
+    runner = PlanRunner(env)
+    benchmark(lambda: runner.measure(plan))
+
+
+# ---------------------------------------------------------------------------
+# batched vs reference trajectory (script mode -> BENCH_executor.json)
+# ---------------------------------------------------------------------------
+
+BENCH_ROWS = 1 << 17
+
+
+def _bench_table(env: StorageEnv) -> Table:
+    rng = np.random.default_rng(0)
+    table = Table(
+        env,
+        "bench",
+        {
+            "a": rng.integers(0, 1 << 20, BENCH_ROWS),
+            "b": rng.integers(0, 1 << 20, BENCH_ROWS),
+            "val": rng.integers(0, 1000, BENCH_ROWS),
+        },
+    )
+    table.create_index("idx_a", ["a"])
+    return table
+
+
+def _executor_operators():
+    """(name, repeats, plan factory) for the before/after comparison.
+
+    Each factory returns ``(runner, plan)`` built on a fresh environment
+    so both modes start from identical cold state.
+    """
+    build_keys = np.random.default_rng(3).integers(0, 500, 1500)
+    probe_keys = np.random.default_rng(4).integers(0, 500, 8000)
+
+    def scan():
+        env = StorageEnv(DeviceProfile(), pool_pages=256)
+        table = _bench_table(env)
+        plan = TableScanNode(
+            table, [ColumnRange("a", 0, 1 << 19)], project=["val"]
+        )
+        return PlanRunner(env), plan
+
+    def inl_join():
+        env = StorageEnv(DeviceProfile(), pool_pages=256)
+        plan = join_plan_inventory(build_keys, probe_keys)["join.inl"]
+        return PlanRunner(env), plan
+
+    def naive_fetch():
+        env = StorageEnv(DeviceProfile(), pool_pages=256)
+        table = _bench_table(env)
+        plan = FetchNode(
+            IndexRangeRidsNode(table.index("idx_a"), ColumnRange("a", 0, 1 << 16)),
+            table,
+            NAIVE_FETCH,
+            project=["val"],
+        )
+        return PlanRunner(env), plan
+
+    def external_sort():
+        env = StorageEnv(DeviceProfile(), pool_pages=256)
+        table = _bench_table(env)
+        plan = ExternalSortNode(table.column("b"), row_bytes=8)
+        return PlanRunner(env, memory_bytes=1 << 16), plan
+
+    return [
+        ("table_scan", 40, scan),
+        ("inl_join", 8, inl_join),
+        ("naive_fetch", 15, naive_fetch),
+        ("external_sort", 20, external_sort),
+    ]
+
+
+def _measure_mode(factory, repeats: int, batched: bool):
+    """Cold-measure the plan ``repeats`` times; returns (elapsed, runs)."""
+    runner, plan = factory()
+    with use_batched(batched):
+        runner.measure(plan)  # warm caches (tree build, sorted columns)
+        start = time.perf_counter()
+        runs = [runner.measure(plan) for _ in range(repeats)]
+        elapsed = time.perf_counter() - start
+    return elapsed, runs
+
+
+def _runs_identical(reference, batched) -> bool:
+    return all(
+        a.seconds == b.seconds and a.aborted == b.aborted and a.n_rows == b.n_rows
+        for a, b in zip(reference, batched)
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched vs reference executor throughput"
+    )
+    parser.add_argument("--out", default="BENCH_executor.json")
+    parser.add_argument("--require-speedup", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    payload = {
+        "bench": "executor_batching",
+        "rows": BENCH_ROWS,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "operators": {},
+    }
+    gated = {"table_scan", "inl_join"}
+    gate_ok = True
+    for name, repeats, factory in _executor_operators():
+        ref_elapsed, ref_runs = _measure_mode(factory, repeats, batched=False)
+        bat_elapsed, bat_runs = _measure_mode(factory, repeats, batched=True)
+        before = repeats / ref_elapsed if ref_elapsed else float("inf")
+        after = repeats / bat_elapsed if bat_elapsed else float("inf")
+        speedup = after / before if before else float("inf")
+        bit_identical = _runs_identical(ref_runs, bat_runs)
+        payload["operators"][name] = {
+            "repeats": repeats,
+            "reference_cells_per_sec": round(before, 1),
+            "batched_cells_per_sec": round(after, 1),
+            "speedup": round(speedup, 2),
+            "bit_identical": bit_identical,
+        }
+        print(
+            f"  {name:14s} {before:9.1f} -> {after:9.1f} cells/s "
+            f"({speedup:6.2f}x)  bit-identical: {bit_identical}"
+        )
+        if not bit_identical:
+            gate_ok = False
+            print(f"FAIL: {name} virtual results differ", file=sys.stderr)
+        if (
+            args.require_speedup is not None
+            and name in gated
+            and speedup < args.require_speedup
+        ):
+            gate_ok = False
+            print(
+                f"FAIL: {name} speedup {speedup:.2f}x < required "
+                f"{args.require_speedup:.2f}x",
+                file=sys.stderr,
+            )
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,11 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_optimizer_choice.py \
         [--cells 2000] [--uncertainty 4.0] [--out BENCH_optimizer_choice.json]
-        [--require-cells-per-sec 500]
+        [--require-cells-per-sec 500] [--executor-out BENCH_executor.json]
+
+``--executor-out`` additionally merges the per-policy throughput into the
+executor trajectory artifact written by ``bench_micro_operators.py``, so
+``BENCH_executor.json`` carries the whole cells/sec picture.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2009)
     parser.add_argument("--out", default="BENCH_optimizer_choice.json")
     parser.add_argument("--require-cells-per-sec", type=float, default=None)
+    parser.add_argument("--executor-out", default=None)
     args = parser.parse_args(argv)
 
     # One representative plan inventory; the choice loop re-prices it per
@@ -105,6 +110,23 @@ def main(argv=None) -> int:
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"wrote {args.out}")
+
+    if args.executor_out:
+        try:
+            with open(args.executor_out) as fh:
+                executor_payload = json.load(fh)
+        except FileNotFoundError:
+            executor_payload = {"bench": "executor_batching"}
+        executor_payload["optimizer_choice"] = {
+            "cells": args.cells,
+            "policies": {
+                name: entry["cells_per_sec"]
+                for name, entry in payload["policies"].items()
+            },
+        }
+        with open(args.executor_out, "w") as fh:
+            json.dump(executor_payload, fh, indent=2)
+        print(f"merged policy throughput into {args.executor_out}")
 
     if (
         args.require_cells_per_sec is not None

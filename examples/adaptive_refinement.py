@@ -85,7 +85,21 @@ def main() -> None:
     )
 
     policy = AdaptiveRefinePolicy(initial_step=max(4, GRID // 4), max_cells=BUDGET)
-    sweep = RobustnessSweep(scenario.providers(), memory_bytes=8192)
+
+    # Throughput comes from the ProgressEvent stream itself (the sweep
+    # engine's stopwatch), never from a locally recomputed elapsed time —
+    # the two used to drift in this script.
+    last_event = None
+
+    def progress(event) -> None:
+        nonlocal last_event
+        last_event = event
+        rate = event.done / event.elapsed if event.elapsed > 0 else float("inf")
+        print(f"  {event} [{rate:,.0f} cells/s]")
+
+    sweep = RobustnessSweep(
+        scenario.providers(), memory_bytes=8192, progress=progress
+    )
     refined = sweep.sweep(scenario, policy=policy)
 
     measured = int(refined.measured_mask.sum())
@@ -93,6 +107,12 @@ def main() -> None:
         f"measured {measured}/{n_cells} cells "
         f"({measured / n_cells:.0%}) in {refined.meta['refine_rounds']} rounds"
     )
+    if last_event is not None and last_event.elapsed > 0:
+        print(
+            f"throughput {last_event.done / last_event.elapsed:,.0f} cells/s "
+            f"({last_event.done} cells in {last_event.elapsed:.1f}s, "
+            "from the progress stream)"
+        )
     for plan_id in refined.plan_ids:
         score = symmetry_score(refined.measured_times(plan_id))
         print(f"  {plan_id:28s} symmetry {score:.4f} (measured cells)")

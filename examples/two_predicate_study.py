@@ -58,13 +58,24 @@ def build_systems():
     )
 
 
+def progress(event) -> None:
+    """Render each tick with cells/sec taken from the event itself.
+
+    ``event.done``/``event.elapsed`` come from the sweep engine's own
+    stopwatch, so the printed throughput cannot drift from the engine's
+    ETA the way a locally recomputed elapsed time could.
+    """
+    rate = event.done / event.elapsed if event.elapsed > 0 else float("inf")
+    print(f"  {event} [{rate:,.0f} cells/s]")
+
+
 def main() -> None:
     sweep = ParallelSweep(
         build_systems,
         budget_seconds=5.0,
         jitter=Jitter(rel=0.01, abs=0.0005),
         n_workers=N_WORKERS,
-        progress=lambda message: print(f"  {message}"),
+        progress=progress,
     )
     mapdata = sweep.sweep_two_predicate(Space2D.log2("sel_a", "sel_b", MIN_EXP, 0))
     OUT.mkdir(exist_ok=True)

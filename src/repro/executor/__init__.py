@@ -9,6 +9,7 @@ access, external sort, and aggregation.
 Measured plan cost = virtual clock delta around :meth:`PlanRunner.measure`.
 """
 
+from repro.executor.batching import batched_enabled, set_batched, use_batched
 from repro.executor.context import CostBudgetExceeded, ExecContext
 from repro.executor.memory import MemoryBroker, MemoryGrant
 from repro.executor.results import Result
@@ -40,6 +41,9 @@ from repro.executor.joins import (
 from repro.executor.aggregate import HashAggregate, StreamAggregate
 
 __all__ = [
+    "batched_enabled",
+    "set_batched",
+    "use_batched",
     "CostBudgetExceeded",
     "ExecContext",
     "MemoryBroker",

@@ -8,6 +8,8 @@ its cost explodes.  A plan that exceeds its budget aborts with
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ExecutionError
 from repro.executor.memory import MemoryBroker
 from repro.sim.profile import DeviceProfile
@@ -70,6 +72,26 @@ class ExecContext:
         """Charge uniform CPU cost for ``n_items`` operations."""
         self.env.charge_cpu(n_items, seconds_per_item)
 
+    def charge_many(self, counts, unit_costs) -> None:
+        """Charge ``counts[i] * unit_costs[i]`` for every i, vectorized.
+
+        Bit-identical to ``for n, c in zip(counts, unit_costs):
+        self.charge(n, c)``: the per-item products are the same IEEE
+        double multiplications the loop would perform, and
+        :meth:`SimClock.advance_many` accumulates them in the same
+        left-to-right order.  (Zero counts contribute an exact ``+0.0``,
+        which never changes a non-negative clock value, so they need no
+        special-casing.)
+        """
+        counts = np.asarray(counts, dtype=np.float64).ravel()
+        unit_costs = np.asarray(unit_costs, dtype=np.float64).ravel()
+        if counts.shape != unit_costs.shape:
+            raise ExecutionError(
+                f"charge_many needs aligned arrays, got {counts.size} counts "
+                f"for {unit_costs.size} unit costs"
+            )
+        self.env.clock.advance_many(counts * unit_costs)
+
     def charge_sort_cpu(self, n_items: int) -> None:
         """Charge comparison cost for sorting ``n_items`` (n log2 n)."""
         if n_items > 1:
@@ -85,3 +107,27 @@ class ExecContext:
         spent = self.env.clock.now - self._budget_start
         if spent > self.budget_seconds:
             raise CostBudgetExceeded(self.budget_seconds, spent)
+
+    def check_budget_every(self, done: int, stride: int = 256) -> None:
+        """Budget check for per-item loops: fires every ``stride`` items.
+
+        Call with the zero-based index of the item just completed; the
+        budget is actually checked after items ``stride-1``,
+        ``2*stride-1``, ... — one check per ``stride`` completed items,
+        replacing the ad-hoc ``done % STRIDE == STRIDE - 1`` idiom.
+
+        Budget-censoring contract: a measurement that exceeds its budget
+        is recorded as *censored* (aborted, time = NaN in the maps), and
+        the environment is cold-reset before the next measurement, so any
+        virtual time charged between crossing the budget and noticing it
+        is unobservable.  Operators are therefore free to check the
+        budget at any frequency — per item, every ``stride`` items, or
+        once after a whole vectorized batch — without changing any
+        non-censored measurement or which measurements are censored.
+        Checking less often only trades a little extra (discarded)
+        simulation work for faster batches.
+        """
+        if self.budget_seconds is None or stride <= 0:
+            return
+        if done % stride == stride - 1:
+            self.check_budget()

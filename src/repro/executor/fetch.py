@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import PlanError
+from repro.executor import batching
 from repro.executor.context import ExecContext
 from repro.executor.predicates import ColumnRange, apply_predicates
 from repro.executor.results import Result
@@ -101,10 +102,20 @@ class FetchStrategy:
         return sorted_rids
 
     def _charge_naive(self, ctx: ExecContext, table: Table, rids: np.ndarray) -> None:
-        """One buffer-pool access per row, in the order given."""
+        """One buffer-pool access per row, in the order given.
+
+        The budget is checked once per :data:`_NAIVE_CHUNK` pages in both
+        modes, so even censored (budget-aborted) measurements abort at
+        the same point regardless of mode.
+        """
         pages = table.pages_of_rids(rids)
         handle = table.clustered.handle
         pool = ctx.pool
+        if batching.batched_enabled():
+            for start in range(0, pages.size, _NAIVE_CHUNK):
+                pool.get_many(handle, pages[start : start + _NAIVE_CHUNK])
+                ctx.check_budget()
+            return
         for start in range(0, pages.size, _NAIVE_CHUNK):
             for page in pages[start : start + _NAIVE_CHUNK]:
                 pool.get(handle, int(page))

@@ -35,6 +35,7 @@ import math
 
 import numpy as np
 
+from repro.executor import batching
 from repro.executor.context import ExecContext
 from repro.executor.plans import PlanNode, _estimate
 from repro.executor.results import Result
@@ -154,8 +155,10 @@ class HashJoinNode(PlanNode):
             self._partitioned_join(ctx, n_build, n_probe)
         else:
             try:
-                ctx.charge(n_build, 2 * profile.cpu_hash)
-                ctx.charge(n_probe, profile.cpu_hash)
+                # Build pays double hashing (insert + bucket maintenance).
+                ctx.charge_many(
+                    (n_build, n_probe), (2 * profile.cpu_hash, profile.cpu_hash)
+                )
             finally:
                 grant.release()
         return _result_for(ctx, join_matches(self.build, self.probe))
@@ -221,8 +224,9 @@ class HashJoinNode(PlanNode):
                 ctx.check_budget()
             # Final build + probe over the resident portion and each
             # (now memory-sized) partition.
-            ctx.charge(n_build, 2 * profile.cpu_hash)
-            ctx.charge(n_probe, profile.cpu_hash)
+            ctx.charge_many(
+                (n_build, n_probe), (2 * profile.cpu_hash, profile.cpu_hash)
+            )
         finally:
             grant.release()
 
@@ -263,10 +267,21 @@ class IndexNestedLoopJoinNode(PlanNode):
     def execute(self, ctx: ExecContext) -> Result:
         tree = self._index_for(ctx)
         ctx.charge(self.probe.size, ctx.profile.cpu_row)
-        for done, key in enumerate(self.probe.tolist()):
-            tree.probe(int(key))
-            if done % _PROBE_BUDGET_STRIDE == _PROBE_BUDGET_STRIDE - 1:
-                ctx.check_budget()
+        if batching.batched_enabled():
+            # probe_many preserves the stride-boundary budget checks of
+            # the reference loop (exact clock at every boundary), so even
+            # censored runs abort at the same probe in both modes.
+            tree.probe_many(
+                self.probe,
+                budget_check=lambda done: ctx.check_budget_every(
+                    done, _PROBE_BUDGET_STRIDE
+                ),
+                budget_stride=_PROBE_BUDGET_STRIDE,
+            )
+        else:
+            for done, key in enumerate(self.probe.tolist()):
+                tree.probe(int(key))
+                ctx.check_budget_every(done, _PROBE_BUDGET_STRIDE)
         return _result_for(ctx, join_matches(self.build, self.probe))
 
     def estimated_rows(self, est: dict) -> float:

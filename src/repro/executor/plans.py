@@ -26,10 +26,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.errors import PlanError
+from repro.executor import batching
 from repro.executor.context import CostBudgetExceeded, ExecContext
 from repro.executor.fetch import FetchStrategy
 from repro.executor.mdam import mdam_scan
@@ -108,6 +110,8 @@ class TableScanNode(PlanNode):
         self.label = f"TableScan({table.name}; {preds})"
 
     def execute(self, ctx: ExecContext) -> Result:
+        if batching.batched_enabled():
+            return self._execute_batched(ctx)
         table = self.table
         profile = ctx.profile
         _keys, columns = table.clustered.scan_all(charge=True)
@@ -126,6 +130,58 @@ class TableScanNode(PlanNode):
         ctx.charge(rids.size, profile.cpu_row)
         ctx.check_budget()
         return Result(rids, out)
+
+    def _execute_batched(self, ctx: ExecContext) -> Result:
+        """Charge-identical scan that defers row materialization.
+
+        Virtual charges depend only on the qualifying *count*: a single
+        range predicate is counted with two ``searchsorted`` calls over a
+        cached sorted copy of the column (equal to
+        ``count_nonzero(mask)`` for an inclusive integer range), and the
+        rid/column arrays materialize lazily via :meth:`Result.deferred`
+        — measurement loops never touch them.
+        """
+        table = self.table
+        profile = ctx.profile
+        _keys, columns = table.clustered.scan_all(charge=True)
+        n_rows = table.n_rows
+        ctx.charge(n_rows, profile.cpu_row)
+        predicates = self.predicates
+        mask: np.ndarray | None = None
+        if predicates:
+            ctx.charge(n_rows * len(predicates), profile.cpu_predicate)
+            if len(predicates) == 1:
+                predicate = predicates[0]
+                ordered = table.sorted_column(predicate.column)
+                count = int(
+                    np.searchsorted(ordered, predicate.hi, side="right")
+                    - np.searchsorted(ordered, predicate.lo, side="left")
+                )
+            else:
+                mask = apply_predicates(columns, predicates)
+                count = int(np.count_nonzero(mask))
+        else:
+            count = n_rows
+
+        def rids_fn() -> np.ndarray:
+            if not predicates:
+                return np.arange(n_rows, dtype=np.int64)
+            qualifying = mask
+            if qualifying is None:
+                qualifying = apply_predicates(columns, predicates)
+            return np.flatnonzero(qualifying).astype(np.int64)
+
+        def columns_fn() -> dict[str, np.ndarray]:
+            rids = result.rids
+            needed = dict.fromkeys(
+                self.project + [p.column for p in predicates]
+            )
+            return {name: columns[name][rids] for name in needed}
+
+        result = Result.deferred(count, rids_fn, columns_fn)
+        ctx.charge(count, profile.cpu_row)
+        ctx.check_budget()
+        return result
 
     def estimated_rows(self, est: dict) -> float:
         if not self.predicates:
@@ -661,6 +717,14 @@ class ExternalSortNode(PlanNode):
             ctx, row_bytes=self.row_bytes, policy=self.policy
         ).sort(self.values)
         ctx.check_budget()
+        n_rows = int(self.values.size)
+        if batching.batched_enabled():
+            # All charges happened above; defer the real np.sort payload.
+            return Result.deferred(
+                n_rows,
+                lambda: np.arange(n_rows, dtype=np.int64),
+                lambda: {"sorted": sorted_result.values},
+            )
         return Result(
             np.arange(sorted_result.values.size, dtype=np.int64),
             {"sorted": sorted_result.values},
@@ -684,21 +748,61 @@ class ExternalSortNode(PlanNode):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class MeasuredRun:
-    """One cold-cache measurement of one plan."""
+    """One cold-cache measurement of one plan.
 
-    plan_label: str
-    seconds: float
-    aborted: bool
-    n_rows: int
-    rid_checksum: int
-    io: DiskStats
+    ``rid_checksum`` is computed lazily: sweeps read only ``seconds`` /
+    ``aborted`` / ``n_rows``, so deferring the checksum lets measurement
+    loops skip materializing the rid arrays entirely.
+    """
+
+    __slots__ = (
+        "plan_label",
+        "seconds",
+        "aborted",
+        "n_rows",
+        "io",
+        "_rid_checksum",
+        "_checksum_fn",
+    )
+
+    def __init__(
+        self,
+        plan_label: str,
+        seconds: float,
+        aborted: bool,
+        n_rows: int,
+        io: DiskStats,
+        rid_checksum: int | None = None,
+        checksum_fn: Callable[[], int] | None = None,
+    ) -> None:
+        self.plan_label = plan_label
+        self.seconds = seconds
+        self.aborted = aborted
+        self.n_rows = n_rows
+        self.io = io
+        self._rid_checksum = rid_checksum
+        self._checksum_fn = checksum_fn
+
+    @property
+    def rid_checksum(self) -> int:
+        if self._rid_checksum is None:
+            self._rid_checksum = (
+                self._checksum_fn() if self._checksum_fn is not None else 0
+            )
+            self._checksum_fn = None
+        return self._rid_checksum
 
     @property
     def censored(self) -> bool:
         """True when the run hit its cost budget (cost is a lower bound)."""
         return self.aborted
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasuredRun({self.plan_label!r}, seconds={self.seconds!r}, "
+            f"aborted={self.aborted}, n_rows={self.n_rows})"
+        )
 
 
 class PlanRunner:
@@ -740,6 +844,6 @@ class PlanRunner:
             seconds=watch.elapsed,
             aborted=aborted,
             n_rows=result.n_rows if result is not None else -1,
-            rid_checksum=result.rid_checksum() if result is not None else 0,
             io=io_delta,
+            checksum_fn=result.rid_checksum if result is not None else None,
         )

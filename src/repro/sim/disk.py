@@ -157,6 +157,71 @@ class Disk:
         """Read one page; convenience wrapper over :meth:`read_run`."""
         return self.read_run(handle, page_no, 1)
 
+    def read_runs(
+        self,
+        file_ids: np.ndarray,
+        start_pages: np.ndarray,
+        n_pages: np.ndarray,
+        last_handle: FileHandle,
+    ) -> None:
+        """Charge a sequence of :meth:`read_run` calls in one step.
+
+        Bit-identical to the equivalent loop: each read's positioning
+        category is derived from where the *previous* read left the head
+        (the first from the live head position), per-read elapsed times
+        are the same products/sums the loop computes, and both the clock
+        and ``read_time`` accumulate them strictly left-to-right via
+        :meth:`SimClock.advance_many`'s sequential accumulation.
+
+        ``last_handle`` must be the handle of the final read (arrays carry
+        only file ids; the head-position record needs the handle's id,
+        which callers have anyway).
+        """
+        f = np.asarray(file_ids, dtype=np.int64)
+        s = np.asarray(start_pages, dtype=np.int64)
+        c = np.asarray(n_pages, dtype=np.int64)
+        n = int(f.size)
+        if n == 0:
+            return
+        if s.size != n or c.size != n:
+            raise StorageError("read_runs needs aligned file/start/count arrays")
+        if np.any(c <= 0):
+            raise StorageError("read_runs needs positive page counts")
+        if np.any(s < 0):
+            raise StorageError("read_runs needs non-negative start pages")
+        if int(f[-1]) != last_handle.file_id:
+            raise StorageError("last_handle does not match the final read")
+        profile = self._profile
+        head = self._head
+        prev_file = np.concatenate(([head.file_id], f[:-1]))
+        prev_end = np.concatenate(([head.page_no], (s + c - 1)[:-1]))
+        same_file = prev_file == f
+        sequential = same_file & (prev_end == s - 1)
+        forward = same_file & (prev_end < s) & (s - prev_end <= SHORT_SEEK_GAP_PAGES)
+        settled = forward & ~sequential
+        random = ~(sequential | settled)
+        positioning = np.where(
+            sequential,
+            0.0,
+            np.where(settled, profile.settle_time, profile.seek_time),
+        )
+        elapsed = positioning + c * profile.page_transfer_time
+        self._clock.advance_many(elapsed)
+
+        stats = self.stats
+        stats.pages_read += int(c.sum())
+        # read_time accumulates per call in the loop; replay that exact
+        # left-to-right float accumulation.
+        stats.read_time = float(
+            np.add.accumulate(np.concatenate(((stats.read_time,), elapsed)))[-1]
+        )
+        stats.sequential_reads += int(np.count_nonzero(sequential))
+        stats.settled_reads += int(np.count_nonzero(settled))
+        n_random = int(np.count_nonzero(random))
+        stats.random_reads += n_random
+        stats.seeks += n_random
+        head.after(last_handle, int(s[-1] + c[-1] - 1))
+
     def read_scattered(
         self, handle: FileHandle, page_nos, coalesce: bool = False
     ) -> float:

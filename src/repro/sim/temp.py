@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.sim.disk import Disk, FileHandle
 
@@ -85,3 +87,48 @@ class TempStore:
         """Stream an entire run back from its start."""
         run.reset()
         self.read_pages(run, run.n_pages)
+
+    def merge_read_all(self, runs: list[SpillFile], page_quantum: int) -> None:
+        """Round-robin every run to exhaustion in quantum-sized chunks.
+
+        Charges exactly what the merge loop
+
+        .. code-block:: python
+
+            while any(run.pages_remaining for run in runs):
+                for run in runs:
+                    if run.pages_remaining:
+                        temp.read_pages(run, page_quantum)
+
+        would charge — the full schedule (round-major, runs in list
+        order, each read positioned at the run's cursor) is computed up
+        front and charged through :meth:`Disk.read_runs` in one
+        vectorized, bit-identical step.
+        """
+        quantum = int(page_quantum)
+        if quantum <= 0:
+            raise StorageError(f"merge quantum must be positive, got {page_quantum}")
+        active = [run for run in runs if run.pages_remaining > 0]
+        if not active:
+            return
+        remaining = np.array([run.pages_remaining for run in active], dtype=np.int64)
+        cursors = np.array([run._cursor for run in active], dtype=np.int64)
+        file_ids = np.array(
+            [run._handle.file_id for run in active], dtype=np.int64
+        )
+        reads_per_run = -(-remaining // quantum)
+        run_idx = np.repeat(np.arange(len(active), dtype=np.int64), reads_per_run)
+        offsets = np.cumsum(reads_per_run) - reads_per_run
+        round_idx = (
+            np.arange(int(reads_per_run.sum()), dtype=np.int64)
+            - np.repeat(offsets, reads_per_run)
+        )
+        order = np.lexsort((run_idx, round_idx))  # round-major, run-minor
+        starts = cursors[run_idx] + round_idx * quantum
+        counts = np.minimum(quantum, remaining[run_idx] - round_idx * quantum)
+        last_run = active[int(run_idx[order][-1])]
+        self._disk.read_runs(
+            file_ids[run_idx][order], starts[order], counts[order], last_run._handle
+        )
+        for run in active:
+            run._cursor = run.n_pages

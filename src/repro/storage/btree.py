@@ -63,10 +63,43 @@ class _Inner:
         self.page_no = page_no
 
 
+def _ragged_arange(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate [starts[i], ends[i]) integer ranges, vectorized."""
+    counts = np.maximum(ends - starts, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+
+
+class _DescentIndex:
+    """Vectorized descent metadata for one tree shape.
+
+    ``boundaries`` is the in-order concatenation of every inner node's
+    separators; when that sequence is non-decreasing (and the tree shape
+    is regular — see ``ordered``), a per-level ``bisect_left`` descent
+    lands on leaf ``searchsorted(boundaries, key, side="left")``, so a
+    whole key batch descends in one call.  ``leaf_paths[j]`` holds the
+    inner-node page numbers on the root→parent path of leaf ``j`` (every
+    path has the same length in a regular tree), which is what descent
+    I/O charging needs.
+    """
+
+    __slots__ = ("boundaries", "leaf_paths", "ordered")
+
+    def __init__(
+        self, boundaries: np.ndarray, leaf_paths: np.ndarray, ordered: bool
+    ) -> None:
+        self.boundaries = boundaries
+        self.leaf_paths = leaf_paths
+        self.ordered = ordered
+
+
 class _FlatView:
     """Concatenated leaf contents plus leaf boundary metadata."""
 
-    __slots__ = ("keys", "payload", "leaf_starts", "leaf_pages")
+    __slots__ = ("keys", "payload", "leaf_starts", "leaf_pages", "_unique_pages")
 
     def __init__(
         self,
@@ -79,6 +112,17 @@ class _FlatView:
         self.payload = payload
         self.leaf_starts = leaf_starts  # length n_leaves + 1, prefix offsets
         self.leaf_pages = leaf_pages  # page number of each leaf, chain order
+        self._unique_pages: np.ndarray | None = None
+
+    def unique_leaf_pages(self) -> np.ndarray:
+        """Sorted unique leaf page numbers, cached for the view's lifetime.
+
+        The view is rebuilt on any mutation, so the cache can never go
+        stale; full scans reuse it every measurement.
+        """
+        if self._unique_pages is None:
+            self._unique_pages = np.unique(self.leaf_pages)
+        return self._unique_pages
 
     @property
     def n_entries(self) -> int:
@@ -130,6 +174,8 @@ class BPlusTree:
         self._first_leaf: _Leaf = self._root
         self._payload_names: tuple[str, ...] = ()
         self._flat: _FlatView | None = None
+        self._descent: _DescentIndex | None = None
+        self._descent_flat: _FlatView | None = None
         self._n_entries = 0
 
     # ------------------------------------------------------------------
@@ -305,6 +351,190 @@ class BPlusTree:
         if isinstance(node, _Inner):  # pragma: no cover - defensive
             raise StorageError("descent did not reach a leaf")
         return node
+
+    def _descent_index(self) -> _DescentIndex:
+        """The cached :class:`_DescentIndex`, rebuilt when the flat view is."""
+        flat = self.flat
+        if self._descent is None or self._descent_flat is not flat:
+            self._descent = self._build_descent(flat)
+            self._descent_flat = flat
+        return self._descent
+
+    def _build_descent(self, flat: _FlatView) -> _DescentIndex:
+        boundaries: list[int] = []
+        paths: list[tuple[int, ...]] = []
+        leaf_pages: list[int] = []
+
+        def walk(node: "_Leaf | _Inner", path: tuple[int, ...]) -> None:
+            if isinstance(node, _Inner):
+                child_path = path + (node.page_no,)
+                for index, child in enumerate(node.children):
+                    if index:
+                        boundaries.append(int(node.separators[index - 1]))
+                    walk(child, child_path)
+            else:
+                paths.append(path)
+                leaf_pages.append(node.page_no)
+
+        walk(self._root, ())
+        depths = {len(path) for path in paths}
+        ordered = (
+            len(depths) == 1
+            and len(boundaries) == len(leaf_pages) - 1
+            and leaf_pages == flat.leaf_pages.tolist()
+            and all(a <= b for a, b in zip(boundaries, boundaries[1:]))
+            and (
+                flat.n_leaves <= 1
+                or bool(np.all(np.diff(flat.leaf_starts) > 0))
+            )
+        )
+        boundary_arr = np.asarray(boundaries, dtype=np.int64)
+        path_arr = (
+            np.asarray(paths, dtype=np.int64)
+            if ordered
+            else np.empty((len(paths), 0), dtype=np.int64)
+        )
+        return _DescentIndex(boundary_arr, path_arr, ordered)
+
+    def probe_many(
+        self,
+        keys: np.ndarray,
+        charge: bool = True,
+        budget_check=None,
+        budget_stride: int | None = None,
+    ) -> np.ndarray:
+        """Probe every key in sequence; returns per-key match counts.
+
+        Charging is bit-identical to ``for k in keys: tree.probe(k)``:
+        probes are replayed one at a time (their pool misses interleave
+        I/O with descent CPU) until every page any remaining probe can
+        touch is pool-resident — from that point on no probe can change
+        pool state, so the remaining hits and CPU charges are applied in
+        two vectorized aggregates (:meth:`BufferPool.touch_hits`, then
+        :meth:`SimClock.advance_many` over constant-cost arrays, which
+        accumulate exactly like the per-probe loop because pool hits
+        advance no time).  Residency is re-examined only after a probe
+        that actually missed — consecutive all-hit probes cannot change
+        it.  Irregular trees (non-monotone in-order separators after
+        heavy mutation) fall back to the plain probe loop.
+
+        ``budget_check``, when given, is called with the zero-based index
+        of every individually replayed probe.  In the batched tail the
+        clock is advanced chunk-by-chunk so that ``budget_check`` fires
+        at every index ``i`` with ``i % budget_stride == budget_stride -
+        1`` while the clock holds exactly the value the per-probe loop
+        would show there — censored (budget-aborted) runs therefore
+        abort at the same probe with the same clock in both modes.
+        """
+        keys = np.ascontiguousarray(np.asarray(keys), dtype=np.int64)
+        n = int(keys.size)
+        flat = self.flat
+        lo = np.searchsorted(flat.keys, keys, side="left")
+        hi = np.searchsorted(flat.keys, keys, side="right")
+        counts = np.asarray(hi - lo, dtype=np.int64)
+        if not charge or n == 0:
+            return counts
+        descent = self._descent_index()
+        if not descent.ordered:
+            for done, key in enumerate(keys.tolist()):
+                self.probe(int(key))
+                if budget_check is not None:
+                    budget_check(done)
+            return counts
+
+        n_entries = flat.n_entries
+        n_leaves = flat.n_leaves
+        # Leaf the descent lands on: searchsorted over the in-order
+        # separators composes the per-level bisect_left choices.
+        first_leaf = np.searchsorted(descent.boundaries, keys, side="left")
+        # Last leaf the duplicate-continuation walk visits: the walk
+        # advances while the key's upper bound lies at/past the end of
+        # the current leaf, i.e. up to the leaf containing position
+        # ``hi`` (the last leaf when ``hi`` is past every entry).
+        last_leaf = np.where(
+            hi >= n_entries,
+            n_leaves - 1,
+            flat.leaf_index_of(np.minimum(hi, max(0, n_entries - 1)))
+            if n_entries
+            else 0,
+        )
+        last_leaf = np.maximum(first_leaf, last_leaf)
+
+        # Page sequence of every probe: the descent's inner path + its
+        # first leaf (charged before the probe CPU), then any
+        # continuation leaves (charged after).
+        descent_len = int(descent.leaf_paths.shape[1]) + 1
+        descent_pages = np.concatenate(
+            [
+                descent.leaf_paths[first_leaf],
+                flat.leaf_pages[first_leaf][:, None],
+            ],
+            axis=1,
+        )
+        continuation_counts = last_leaf - first_leaf
+        per_probe = descent_len + continuation_counts
+        offsets = np.concatenate(([0], np.cumsum(per_probe)))
+        all_pages = np.empty(int(offsets[-1]), dtype=np.int64)
+        descent_positions = offsets[:-1, None] + np.arange(descent_len)
+        all_pages[descent_positions.ravel()] = descent_pages.ravel()
+        continuation_positions = _ragged_arange(
+            offsets[:-1] + descent_len, offsets[1:]
+        )
+        continuation_leaves = _ragged_arange(first_leaf + 1, last_leaf + 1)
+        all_pages[continuation_positions] = flat.leaf_pages[continuation_leaves]
+
+        env = self._env
+        pool = env.pool
+        probe_cpu = env.profile.btree_probe_cpu
+        unique_pages = np.unique(all_pages)
+        # With more distinct pages than pool frames the batch can never
+        # become all-resident; skip the (futile) residency checks.
+        may_batch = int(unique_pages.size) <= pool.capacity_pages
+        batched_from = n
+        recheck = True
+        for i in range(n):
+            if may_batch and recheck and pool.contains_all(self.handle, unique_pages):
+                batched_from = i
+                break
+            recheck = False
+            start = int(offsets[i])
+            end = int(offsets[i + 1])
+            misses_before = pool.stats.misses
+            for page in all_pages[start : start + descent_len].tolist():
+                pool.get(self.handle, page)
+            env.charge_cpu(1, probe_cpu)
+            for page in all_pages[start + descent_len : end].tolist():
+                pool.get(self.handle, page)
+            if pool.stats.misses != misses_before:
+                recheck = True  # residency changed; worth re-examining
+            if budget_check is not None:
+                budget_check(i)
+        if batched_from < n:
+            pool.touch_hits(self.handle, all_pages[int(offsets[batched_from]) :])
+            clock = env.clock
+            unit = 1 * probe_cpu  # identical rounding to charge_cpu(1, ...)
+            if budget_check is not None and budget_stride:
+                # Advance in chunks ending at each stride boundary so the
+                # boundary checks observe the exact sequential clock
+                # (chunked accumulation re-seeds with the running value,
+                # so it equals the one-shot accumulation bitwise).
+                stride = int(budget_stride)
+                pos = batched_from
+                boundary = batched_from + (stride - 1 - batched_from % stride) % stride
+                while boundary < n:
+                    clock.advance_many(
+                        np.full(boundary - pos + 1, unit, dtype=np.float64)
+                    )
+                    budget_check(boundary)
+                    pos = boundary + 1
+                    boundary += stride
+                if pos < n:
+                    clock.advance_many(np.full(n - pos, unit, dtype=np.float64))
+            else:
+                clock.advance_many(
+                    np.full(n - batched_from, unit, dtype=np.float64)
+                )
+        return counts
 
     def probe(self, key: int, charge: bool = True) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         """Return (keys, payload) of entries equal to ``key`` (may be empty).
@@ -531,8 +761,7 @@ class BPlusTree:
         """Full leaf scan in key order (sequential after bulk load)."""
         flat = self.flat
         if charge and flat.n_entries:
-            pages = np.unique(flat.leaf_pages)
-            self._env.disk.read_scattered(self.handle, pages)
+            self._env.disk.read_scattered(self.handle, flat.unique_leaf_pages())
         return flat.keys, dict(flat.payload)
 
     def iter_leaves(self) -> Iterator[tuple[np.ndarray, dict[str, np.ndarray]]]:

@@ -14,8 +14,20 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import BufferPoolError
 from repro.sim.disk import Disk, FileHandle
+
+#: Consecutive scalar-mode hits before :meth:`BufferPool.get_many` tries
+#: the vectorized hit-run path again (hit runs shorter than this are
+#: cheaper to walk one page at a time than to ``isin`` against a resident
+#: snapshot).
+_VECTOR_HIT_STREAK = 64
+
+#: Upper bound on one vectorized hit-run segment, so a single ``isin``
+#: never scans an unbounded tail of the request.
+_VECTOR_SEGMENT = 8192
 
 
 @dataclass
@@ -69,6 +81,101 @@ class BufferPool:
         self.stats.misses += 1
         self._disk.read_page(handle, page_no)
         self._admit(key)
+
+    def get_many(self, handle: FileHandle, page_nos) -> None:
+        """Access a page-number array, equivalent to a loop of :meth:`get`.
+
+        Produces exactly the same hit/miss counts, disk charges, eviction
+        victims, and final LRU order as ``for p in page_nos:
+        pool.get(handle, p)`` — misses are replayed through :meth:`get`
+        one at a time (eviction decisions depend on the live LRU state),
+        while runs of consecutive hits are accounted in one vectorized
+        step via :meth:`touch_hits`.  Between two misses no other event
+        can change residency, so splitting the request at its misses
+        preserves the sequential semantics by construction.
+
+        The method adapts to the access pattern: miss-heavy stretches
+        (cold or thrashing pools) are walked one page at a time with O(1)
+        work per page, and the vectorized path re-engages only after a
+        long streak of hits suggests the pool has become resident.
+        """
+        pages = np.ascontiguousarray(np.asarray(page_nos), dtype=np.int64)
+        n = int(pages.size)
+        if n == 0:
+            return
+        fid = handle.file_id
+        resident = self._resident
+        pos = 0
+        vector_mode = True
+        while pos < n:
+            if vector_mode and (fid, int(pages[pos])) in resident:
+                segment = pages[pos : pos + _VECTOR_SEGMENT]
+                snapshot = np.fromiter(
+                    (page for file_id, page in resident if file_id == fid),
+                    dtype=np.int64,
+                )
+                hit = np.isin(segment, snapshot)
+                run = int(segment.size) if hit.all() else int(np.argmin(hit))
+                if run:
+                    self.touch_hits(handle, segment[:run])
+                    pos += run
+                if run < _VECTOR_HIT_STREAK:
+                    vector_mode = False  # mixed regime: fall back to scalar
+                continue
+            # Scalar segment: replay page-by-page (misses must see the
+            # live LRU state) until a long hit streak re-enables the
+            # vectorized path.
+            streak = 0
+            while pos < n:
+                key = (fid, int(pages[pos]))
+                if key in resident:
+                    resident.move_to_end(key)
+                    self.stats.hits += 1
+                    streak += 1
+                    if streak >= _VECTOR_HIT_STREAK:
+                        pos += 1
+                        vector_mode = True
+                        break
+                else:
+                    streak = 0
+                    self.stats.misses += 1
+                    self._disk.read_page(handle, key[1])
+                    self._admit(key)
+                pos += 1
+
+    def touch_hits(self, handle: FileHandle, page_nos) -> None:
+        """Record hits on already-resident pages, in one vectorized step.
+
+        Equivalent to a loop of :meth:`get` calls that all hit: the hit
+        counter grows by ``len(page_nos)`` and the final LRU order is the
+        one the loop would leave — each touched page moved to the end in
+        order of its *last* occurrence (a ``move_to_end`` sequence
+        compacts to its unique-by-last-occurrence subsequence).  Raises
+        if any page is not resident (callers guarantee residency; see
+        :meth:`get_many` and :meth:`BPlusTree.probe_many`).
+        """
+        pages = np.asarray(page_nos)
+        if pages.size == 0:
+            return
+        fid = handle.file_id
+        reversed_pages = pages[::-1]
+        unique, first_in_reversed = np.unique(reversed_pages, return_index=True)
+        # Ascending position-of-last-occurrence == descending index in the
+        # reversed array.
+        order = np.argsort(first_in_reversed)[::-1]
+        resident = self._resident
+        for page in unique[order].tolist():
+            key = (fid, int(page))
+            if key not in resident:
+                raise BufferPoolError(f"touch_hits on non-resident page {key}")
+            resident.move_to_end(key)
+        self.stats.hits += int(pages.size)
+
+    def contains_all(self, handle: FileHandle, page_nos) -> bool:
+        """Whether every page in the array is cached (no LRU touch)."""
+        fid = handle.file_id
+        resident = self._resident
+        return all((fid, int(page)) in resident for page in page_nos)
 
     def _admit(self, key: tuple[int, int]) -> None:
         while len(self._resident) >= self._capacity:

@@ -125,6 +125,7 @@ class Table:
             env, f"{name}.clustered", entry_bytes=row_bytes
         ).bulk_load(rids, dict(self._columns))
         self.indexes: dict[str, SecondaryIndex] = {}
+        self._sorted_columns: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # geometry
@@ -148,6 +149,19 @@ class Table:
         if name not in self._columns:
             raise StorageError(f"table {self.name!r} has no column {name!r}")
         return self._columns[name]
+
+    def sorted_column(self, name: str) -> np.ndarray:
+        """Cached ascending copy of a column (uncharged; for fast counts).
+
+        Columns are immutable after construction, so the sort is paid
+        once per (table, column) and amortized over every measurement
+        that counts a range predicate via ``searchsorted``.
+        """
+        cached = self._sorted_columns.get(name)
+        if cached is None:
+            cached = np.sort(self.column(name))
+            self._sorted_columns[name] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # physical helpers used by fetch strategies (no charging here)

@@ -1,0 +1,59 @@
+"""Ratchet check for the non-blocking ``mypy --strict`` CI step.
+
+Compares the error count in a fresh mypy report against the tracked
+baseline and exits non-zero when new errors appeared.  The step is
+wired ``continue-on-error`` in CI, so a regression shows up red on the
+job without blocking the merge; shrink the baseline whenever the real
+count drops so the ratchet only ever tightens.
+
+Usage::
+
+    python tools/check_mypy_baseline.py mypy_report.txt tools/mypy_baseline.txt
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_ERROR_LINE = re.compile(r"^.+:\d+: error: ")
+
+
+def count_errors(report: str) -> int:
+    return sum(1 for line in report.splitlines() if _ERROR_LINE.match(line))
+
+
+def read_baseline(path: Path) -> int:
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            return int(line)
+    raise ValueError(f"no baseline count found in {path}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path, baseline_path = Path(argv[1]), Path(argv[2])
+    errors = count_errors(report_path.read_text())
+    baseline = read_baseline(baseline_path)
+    print(f"mypy --strict errors: {errors} (baseline {baseline})")
+    if errors > baseline:
+        print(
+            f"REGRESSION: {errors - baseline} new strict-mode errors; "
+            "fix them or (deliberately) raise the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if errors < baseline:
+        print(
+            f"ratchet opportunity: baseline can drop to {errors} "
+            f"(edit {baseline_path})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
