@@ -19,7 +19,11 @@ Writes to ``adaptive_refinement_out/``:
 Run:  python examples/adaptive_refinement.py
 Env:  REPRO_EXAMPLE_ROWS (default 8192: largest join input),
       REPRO_EXAMPLE_GRID (default 64: target grid points per axis),
-      REPRO_EXAMPLE_BUDGET (default GRID*GRID/16: measurement budget).
+      REPRO_EXAMPLE_BUDGET (default GRID*GRID/16: measurement budget),
+      REPRO_EXAMPLE_CELL_CACHE (a directory enables the content-addressed
+      per-cell store: reruns — same grid or a denser one — reuse every
+      overlapping measurement, and each refinement wave prints its store
+      hit rate).
 """
 
 import os
@@ -33,6 +37,7 @@ from repro import (
     OperatorBench,
     RobustnessSweep,
 )
+from repro.core.cellstore import CellStore
 from repro.core.landmarks import symmetry_score
 from repro.viz import ABSOLUTE_TIME_SCALE, absolute_heatmap
 from repro.viz.colormap import CENSORED_RGB
@@ -41,6 +46,7 @@ from repro.viz.png import encode_png, rasterize_grid
 MAX_ROWS = int(os.environ.get("REPRO_EXAMPLE_ROWS", 8192))
 GRID = int(os.environ.get("REPRO_EXAMPLE_GRID", 64))
 BUDGET = int(os.environ.get("REPRO_EXAMPLE_BUDGET", GRID * GRID // 16))
+CELL_CACHE = os.environ.get("REPRO_EXAMPLE_CELL_CACHE")
 OUT = Path("adaptive_refinement_out")
 
 UNMEASURED_RGB = (235, 235, 235)
@@ -95,12 +101,29 @@ def main() -> None:
         nonlocal last_event
         last_event = event
         rate = event.done / event.elapsed if event.elapsed > 0 else float("inf")
-        print(f"  {event} [{rate:,.0f} cells/s]")
+        line = f"  {event} [{rate:,.0f} cells/s]"
+        if event.kind == "round" and event.cache_hits is not None:
+            hit_rate = event.cache_hits / event.wave_cells if event.wave_cells else 0.0
+            line += f" [wave hit rate {hit_rate:.0%}]"
+        print(line)
 
+    store = CellStore(CELL_CACHE) if CELL_CACHE else None
+    if store is not None:
+        print(f"cell store: {CELL_CACHE} ({len(store)} entries)")
     sweep = RobustnessSweep(
-        scenario.providers(), memory_bytes=8192, progress=progress
+        scenario.providers(),
+        memory_bytes=8192,
+        progress=progress,
+        cell_store=store,
     )
     refined = sweep.sweep(scenario, policy=policy)
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"cell store: {stats['cell_hits']} hits / "
+            f"{stats['cell_misses']} misses ({stats['hit_rate']:.0%} hit "
+            f"rate), {stats['writes']} written"
+        )
 
     measured = int(refined.measured_mask.sum())
     print(

@@ -4,6 +4,7 @@ Usage::
 
     repro-figures [output_dir] [--figures fig01,fig07] [--rows 65536]
                   [--workers 4] [--progress] [--refine] [--max-cells 100]
+                  [--cell-cache cellstore/]
     repro-figures [output_dir] --scenario sort_spill,memory_sweep
     repro-figures [output_dir] --scenario estimation --regret
 
@@ -23,6 +24,11 @@ they share, and the summary reports the measured-cell coverage.
 ``--regret`` (with ``--scenario estimation``) additionally evaluates the
 optimizer's selection policies over the measured map and writes one
 categorical *choice map* and one *regret map* per policy.
+``--cell-cache DIR`` enables the content-addressed per-cell measurement
+store: every already-measured (plan, cell) is loaded instead of
+re-measured — across reruns, grid-resolution changes, plan subsets, and
+refinement passes — with progress lines showing the per-wave hit count
+and a final store summary line.
 """
 
 from __future__ import annotations
@@ -195,6 +201,21 @@ def _run_scenarios(
     return 0
 
 
+def _print_store_stats(session: BenchSession) -> None:
+    """One summary line on how warm the run was (cell store configured)."""
+    store = session.cell_store()
+    if store is None:
+        return
+    stats = store.stats()
+    lookups = stats["cell_hits"] + stats["cell_misses"]
+    print(
+        f"cell store {store.directory}: {stats['cell_hits']}/{lookups} "
+        f"cells from store ({stats['hit_rate']:.0%} hit rate), "
+        f"{stats['writes']} measurements written, "
+        f"{stats['entries']} entries total"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?", default="figures", help="output directory")
@@ -233,6 +254,15 @@ def main(argv: list[str] | None = None) -> int:
         "default: refine until no box is interesting)",
     )
     parser.add_argument(
+        "--cell-cache",
+        default=None,
+        metavar="DIR",
+        help="directory for the content-addressed per-cell measurement "
+        "store: reruns, overlapping grids, plan subsets, and refinement "
+        "passes reuse every already-measured cell (sets "
+        "REPRO_BENCH_CELL_CACHE)",
+    )
+    parser.add_argument(
         "--scenario",
         default=None,
         help="comma-separated scenario names (runs scenario sweeps "
@@ -255,13 +285,17 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_BENCH_REFINE"] = "1"
     if args.max_cells is not None:
         os.environ["REPRO_BENCH_MAX_CELLS"] = str(args.max_cells)
+    if args.cell_cache is not None:
+        os.environ["REPRO_BENCH_CELL_CACHE"] = args.cell_cache
     progress = _ProgressPrinter() if args.progress else None
     session = BenchSession(BenchConfig(), progress=progress)
     if args.scenario is not None:
         names = [name.strip() for name in args.scenario.split(",") if name.strip()]
-        return _run_scenarios(
+        code = _run_scenarios(
             session, names, Path(args.output), regret=args.regret
         )
+        _print_store_stats(session)
+        return code
     if args.regret:
         parser.error("--regret requires --scenario estimation")
     wanted = list(ALL_FIGURES) if args.figures == "all" else args.figures.split(",")
@@ -286,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  wrote {path}")
         print()
         all_hold = all_hold and result.all_hold
+    _print_store_stats(session)
     print("ALL CLAIMS HOLD" if all_hold else "SOME CLAIMS FAILED")
     return 0 if all_hold else 1
 

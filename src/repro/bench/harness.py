@@ -9,6 +9,10 @@ Scale knobs (environment variables, so CI can dial them):
   paper used a finer monitor, we default to a 13x13 grid).
 * ``REPRO_BENCH_CACHE``    — directory for on-disk MapData caching
   (default: no disk cache).
+* ``REPRO_BENCH_CELL_CACHE`` — directory for the content-addressed
+  per-cell measurement store (default: none).  Whole-map caches above it
+  stay the fast path; the cell store is what survives grid-resolution
+  changes, plan subsets, and refinement reruns.
 * ``REPRO_BENCH_WORKERS``  — sweep worker processes (default 0: serial;
   the parallel path is bit-identical, so this is purely a speed knob).
 * ``REPRO_BENCH_REFINE``   — non-empty/non-zero runs every sweep under
@@ -33,6 +37,7 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Sequence
 
+from repro.core.cellstore import CellStore
 from repro.core.choice import ChoiceMap, build_choice_map
 from repro.core.driver import AdaptiveRefinePolicy, CellPolicy
 from repro.core.mapdata import MapData
@@ -132,14 +137,38 @@ class BenchConfig:
         default_factory=lambda: os.environ.get("REPRO_BENCH_CACHE")
     )
 
-    def fingerprint(self) -> str:
-        """Digest over every result-shaping knob (not workers/cache_dir).
+    cell_cache_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_BENCH_CELL_CACHE")
+    )
+    """Directory of the content-addressed per-cell measurement store
+    (default: none).  Unlike ``cache_dir`` (whole-map, all-or-nothing),
+    the cell store survives grid-resolution changes, plan-subset sweeps,
+    and refinement reruns — only the overlapping cells hit."""
 
-        Worker count and cache location cannot change the measured map —
-        the parallel engine is bit-identical — so they stay out of the
-        fingerprint and do not invalidate caches.
-        """
-        excluded = {"n_workers", "cache_dir"}
+    #: Knobs that cannot change any *individual* cell measurement: cache
+    #: locations, worker counts, the grid/axis layouts (cell coordinates
+    #: are part of each cell's key), and the cell policy.  Everything
+    #: else lands in :meth:`cell_store_context` — exclusion-based, so a
+    #: future knob defaults into the context (a false miss re-measures;
+    #: a false hit would corrupt maps silently).
+    _CELL_CONTEXT_EXCLUDED = frozenset(
+        {
+            "n_workers",
+            "cache_dir",
+            "cell_cache_dir",
+            "min_exp_1d",
+            "min_exp_2d",
+            "sort_rows",
+            "sort_memory",
+            "memory_axis",
+            "join_rows",
+            "error_magnitudes",
+            "refine",
+            "refine_max_cells",
+        }
+    )
+
+    def _knob_digest(self, excluded: frozenset) -> str:
         payload = repr(
             [
                 (f.name, getattr(self, f.name))
@@ -148,6 +177,29 @@ class BenchConfig:
             ]
         ).encode("utf-8")
         return hashlib.blake2s(payload, digest_size=8).hexdigest()
+
+    def fingerprint(self) -> str:
+        """Digest over every result-shaping knob (not workers/caches).
+
+        Worker count and cache locations cannot change the measured map —
+        the parallel engine is bit-identical — so they stay out of the
+        fingerprint and do not invalidate caches.
+        """
+        return self._knob_digest(
+            frozenset({"n_workers", "cache_dir", "cell_cache_dir"})
+        )
+
+    def cell_store_context(self) -> str:
+        """The opaque context string folded into every cell-store key.
+
+        The :meth:`fingerprint` discipline minus grid-shape, plan-set,
+        and policy knobs: it covers what shapes the providers and
+        measurements *outside* the scenario specs (table rows and seed,
+        buffer-pool pages, budgets, ...), so overlapping grids,
+        plan-subset sweeps, and refinement reruns of the same session
+        configuration all hit.
+        """
+        return self._knob_digest(self._CELL_CONTEXT_EXCLUDED)
 
     def cache_path(self, key: str) -> Path | None:
         if not self.cache_dir:
@@ -199,6 +251,23 @@ class BenchSession:
         self._systems: dict[str, DatabaseSystem] | None = None
         self._maps: dict[str, MapData] = {}
         self._choices: dict[str, ChoiceMap] = {}
+        self._cell_store: CellStore | None = None
+
+    def cell_store(self) -> CellStore | None:
+        """The session's per-cell measurement store (None: not enabled)."""
+        if self.config.cell_cache_dir and self._cell_store is None:
+            self._cell_store = CellStore(self.config.cell_cache_dir)
+        return self._cell_store
+
+    def _store_kwargs(self) -> dict:
+        """Sweep kwargs wiring the cell store into any engine (or not)."""
+        store = self.cell_store()
+        if store is None:
+            return {}
+        return {
+            "cell_store": store,
+            "store_context": self.config.cell_store_context(),
+        }
 
     # ------------------------------------------------------------------
 
@@ -308,6 +377,7 @@ class BenchSession:
             jitter=jitter,
             n_workers=self.config.n_workers,
             progress=self.progress,
+            **self._store_kwargs(),
         )
 
     def single_predicate_map(self) -> MapData:
@@ -327,6 +397,7 @@ class BenchSession:
                 budget_seconds=self.budget(),
                 memory_bytes=config.memory_bytes,
                 progress=self.progress or (lambda event: None),
+                **self._store_kwargs(),
             )
             scenario = SinglePredicateScenario([self.system_a], space)
             return sweep.sweep(scenario, policy=self._policy())
@@ -356,6 +427,7 @@ class BenchSession:
                 memory_bytes=config.memory_bytes,
                 jitter=noise,
                 progress=self.progress or (lambda event: None),
+                **self._store_kwargs(),
             )
             scenario = TwoPredicateScenario(list(self.systems.values()), space)
             return sweep.sweep(scenario, policy=self._policy())
@@ -388,12 +460,14 @@ class BenchSession:
                     budget_seconds=budget,
                     n_workers=config.n_workers,
                     progress=self.progress,
+                    **self._store_kwargs(),
                 )
                 return engine.sweep(scenario.spec(), policy=self._policy())
             return scenario.run(
                 budget_seconds=budget,
                 policy=self._policy(),
                 progress=self.progress or (lambda event: None),
+                **self._store_kwargs(),
             )
 
         return self._cached("scenario_sort_spill", compute)
@@ -418,6 +492,7 @@ class BenchSession:
                 memory_bytes=config.memory_bytes,
                 policy=self._policy(),
                 progress=self.progress or (lambda event: None),
+                **self._store_kwargs(),
             )
 
         return self._cached("scenario_memory_sweep", compute)
@@ -450,6 +525,7 @@ class BenchSession:
                     memory_bytes=config.join_memory_bytes,
                     n_workers=config.n_workers,
                     progress=self.progress,
+                    **self._store_kwargs(),
                 )
                 return engine.sweep(scenario.spec(), policy=self._policy())
             return scenario.run(
@@ -457,6 +533,7 @@ class BenchSession:
                 memory_bytes=config.join_memory_bytes,
                 policy=self._policy(),
                 progress=self.progress or (lambda event: None),
+                **self._store_kwargs(),
             )
 
         return self._cached("scenario_join", compute)
@@ -506,6 +583,7 @@ class BenchSession:
                 memory_bytes=config.memory_bytes,
                 policy=self._policy(),
                 progress=self.progress or (lambda event: None),
+                **self._store_kwargs(),
             )
 
         return self._cached("scenario_estimation", compute)

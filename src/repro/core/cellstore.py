@@ -1,0 +1,372 @@
+"""Content-addressed per-cell measurement store: incremental sweeps.
+
+The whole-map disk caches (``BenchConfig.cache_path``) are all-or-nothing:
+change the grid resolution, add one plan, or rerun a refinement at a
+bigger budget and every previously measured cell is thrown away.  This
+module stores *individual* cell measurements under a content address, so
+overlapping grids, plan-subset sweeps, and refinement reruns all reuse
+what they already measured — repeated figure builds and exploratory
+reruns become O(new cells) instead of O(grid).
+
+Key discipline
+--------------
+
+A key covers everything that shapes one ``(plan, cell)`` measurement and
+nothing that merely shapes the sweep around it (the
+``BenchConfig.fingerprint`` discipline, minus grid shape, plan set, and
+cell policy):
+
+* the scenario's registry name and its spec parameters *except* the axis
+  grids (column, input seeds, row widths, key domains, error model, ...);
+* the cell's **coordinates as axis values** — ``(axis name, target
+  value)`` pairs, never grid indices, so the same selectivity measured on
+  a 17-point and a 33-point grid shares one entry;
+* the plan id (each plan is its own entry, so a plan-subset sweep hits);
+* the result-shaping sweep knobs: cost budget and workspace memory;
+* an opaque caller ``context`` string for whatever shapes the providers
+  outside the spec (table rows/seed, buffer-pool pages — see
+  ``BenchConfig.cell_store_context``);
+* for jittered sweeps only: the jitter parameters *and* the grid
+  coordinates, because :class:`~repro.core.runner.Jitter` seeds its draw
+  on the cell's indices — a jittered measurement is only reusable at the
+  same grid position, and pretending otherwise would silently break the
+  warm-equals-cold guarantee.
+
+Grid shape, the plan inventory, worker counts, chunking, and the cell
+policy are deliberately **absent**: none of them can change what one cell
+measures (the sweep engines are bit-identical across all of them).
+
+Storage format
+--------------
+
+Dependency-light pure python: 16 append-only JSONL shards (fanned out on
+the first hex digit of the key) plus an in-memory index built on first
+access.  Appends are atomic (one ``write`` of complete lines); every line
+carries a blake2s digest of its record, and any malformed or tampered
+line raises :class:`~repro.errors.ExperimentError` at load time.
+:meth:`CellStore.compact` rewrites the shards, dropping superseded
+duplicates and corrupt (orphaned) lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.mapdata import MapData
+    from repro.core.runner import Jitter
+    from repro.core.scenario import Scenario
+
+#: One record of the store: a single (plan, cell) measurement.
+#: ``{"s": seconds | None, "a": aborted, "r": oracle rows}`` — seconds is
+#: None exactly where the map holds NaN (budget-censored runs).
+CellRecord = dict
+
+_KEY_DIGEST_BYTES = 16
+_LINE_DIGEST_BYTES = 8
+_SHARD_PREFIX = "cells-"
+
+
+def _canonical(payload: object) -> bytes:
+    """Canonical JSON bytes — the single serialization behind every digest.
+
+    ``allow_nan=False`` makes non-JSON floats (NaN/inf) a loud error
+    instead of a silently non-portable literal.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def measurement_key(context: Mapping) -> str:
+    """Content address of one measurement context (blake2s-128 hex)."""
+    return hashlib.blake2s(
+        _canonical(dict(context)), digest_size=_KEY_DIGEST_BYTES
+    ).hexdigest()
+
+
+def _record_digest(record: CellRecord) -> str:
+    return hashlib.blake2s(
+        _canonical(record), digest_size=_LINE_DIGEST_BYTES
+    ).hexdigest()
+
+
+def _encode_line(key: str, record: CellRecord) -> bytes:
+    return _canonical({"k": key, "d": _record_digest(record), "r": record}) + b"\n"
+
+
+def _decode_line(line: str) -> tuple[str, CellRecord]:
+    """Parse one shard line; raises ``ValueError`` on any corruption."""
+    obj = json.loads(line)
+    key, digest, record = obj["k"], obj["d"], obj["r"]
+    if not isinstance(key, str) or not isinstance(record, dict):
+        raise ValueError("malformed entry")
+    if _record_digest(record) != digest:
+        raise ValueError("record digest mismatch")
+    return key, record
+
+
+class SweepKeyer:
+    """Per-(plan, cell) content addresses for one configured sweep.
+
+    Built once per sweep from the scenario's picklable spec; the
+    sweep-level part of the key (scenario params, budget, memory, jitter,
+    caller context) is canonicalized eagerly so a scenario whose spec
+    params are not JSON-serializable fails loudly up front instead of
+    corrupting keys cell by cell.
+    """
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        budget_seconds: float | None,
+        memory_bytes: int | None,
+        jitter: "Jitter | None",
+        context: str = "",
+    ) -> None:
+        spec = scenario.spec()
+        params = {k: v for k, v in spec.params.items() if k != "axes"}
+        self._base: dict = {
+            "scenario": spec.name,
+            "params": params,
+            "budget_seconds": (
+                None if budget_seconds is None else float(budget_seconds)
+            ),
+            "memory_bytes": None if memory_bytes is None else int(memory_bytes),
+            "context": str(context),
+        }
+        if jitter is not None:
+            self._base["jitter"] = [
+                float(jitter.rel),
+                float(jitter.abs),
+                int(jitter.seed),
+            ]
+        self._jittered = jitter is not None
+        self._axes: list[tuple[str, list[float]]] = [
+            (axis.name, [float(v) for v in axis.targets])
+            for axis in scenario.axes
+        ]
+        try:
+            _canonical(self._base)
+        except (TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"scenario {spec.name!r} spec params are not content-"
+                f"addressable (must be canonical JSON): {exc}"
+            ) from exc
+
+    @property
+    def jittered(self) -> bool:
+        return self._jittered
+
+    def key(self, plan_id: str, idx: tuple[int, ...]) -> str:
+        """Content address of one plan's measurement at grid position idx."""
+        payload = dict(self._base)
+        payload["plan"] = str(plan_id)
+        payload["coords"] = [
+            [name, targets[i]]
+            for (name, targets), i in zip(self._axes, idx)
+        ]
+        if self._jittered:
+            # Jitter draws are seeded on the grid position, so jittered
+            # values are only reusable at identical coordinates.
+            payload["jitter_cell"] = [int(i) for i in idx]
+        return measurement_key(payload)
+
+
+class CellStore:
+    """Persistent content-addressed store of per-cell measurements.
+
+    ``get``/``put_many`` work at the key level; :func:`lookup_cells` and
+    :func:`records_from_part` adapt whole sweep waves.  The in-memory
+    index is built lazily by scanning every shard once, then kept in sync
+    with appends, so repeated lookups never re-read the files.
+
+    ``cell_hits`` / ``cell_misses`` count *cells* (a hit needs a stored
+    record for every swept plan), which is the rate the CLI, examples,
+    and the CI warm-rerun gate report.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._index: dict[str, CellRecord] | None = None
+        self.cell_hits = 0
+        self.cell_misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+
+    def _shard_path(self, key: str) -> Path:
+        return self.directory / f"{_SHARD_PREFIX}{key[0]}.jsonl"
+
+    def _shard_paths(self) -> list[Path]:
+        return sorted(self.directory.glob(f"{_SHARD_PREFIX}?.jsonl"))
+
+    @property
+    def index(self) -> dict[str, CellRecord]:
+        if self._index is None:
+            index: dict[str, CellRecord] = {}
+            for path in self._shard_paths():
+                for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1
+                ):
+                    if not line.strip():
+                        continue
+                    try:
+                        key, record = _decode_line(line)
+                    except (ValueError, KeyError, TypeError) as exc:
+                        raise ExperimentError(
+                            f"corrupt cell-store shard {path} (line "
+                            f"{lineno}): {exc}; run compact() to drop "
+                            "damaged entries"
+                        ) from exc
+                    index[key] = record  # later appends supersede
+            self._index = index
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.index
+
+    def get(self, key: str) -> CellRecord | None:
+        return self.index.get(key)
+
+    def put_many(self, entries: Iterable[tuple[str, CellRecord]]) -> int:
+        """Append entries (atomic per shard); returns how many were new.
+
+        Keys already present with an identical record are skipped (the
+        sweeps are deterministic, so legitimate duplicates carry the same
+        data); a differing record supersedes the old one — last write
+        wins, and :meth:`compact` drops the shadowed line.
+        """
+        index = self.index
+        by_shard: dict[Path, list[bytes]] = {}
+        written = 0
+        for key, record in entries:
+            if index.get(key) == record:
+                continue
+            by_shard.setdefault(self._shard_path(key), []).append(
+                _encode_line(key, record)
+            )
+            index[key] = record
+            written += 1
+        for path, lines in by_shard.items():
+            with path.open("ab") as fh:
+                fh.write(b"".join(lines))  # one write: atomic append
+        self.writes += written
+        return written
+
+    def put(self, key: str, record: CellRecord) -> int:
+        return self.put_many([(key, record)])
+
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """Rewrite every shard, dropping superseded and orphaned entries.
+
+        Superseded: earlier lines shadowed by a later append of the same
+        key.  Orphaned: lines that no longer parse or whose record digest
+        does not verify (e.g. a torn write from a killed process) —
+        compaction is the recovery path for a store whose strict loads
+        raise.  Shard rewrites are atomic (tmp file + rename).  Returns
+        ``{"kept": ..., "superseded": ..., "corrupt": ...}``.
+        """
+        stats = {"kept": 0, "superseded": 0, "corrupt": 0}
+        index: dict[str, CellRecord] = {}
+        for path in self._shard_paths():
+            entries: dict[str, CellRecord] = {}
+            duplicates = 0
+            for line in path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    key, record = _decode_line(line)
+                except (ValueError, KeyError, TypeError):
+                    stats["corrupt"] += 1
+                    continue
+                if key in entries:
+                    duplicates += 1
+                entries[key] = record
+            stats["superseded"] += duplicates
+            stats["kept"] += len(entries)
+            tmp = path.with_suffix(".jsonl.tmp")
+            tmp.write_bytes(
+                b"".join(_encode_line(k, r) for k, r in sorted(entries.items()))
+            )
+            tmp.replace(path)
+            index.update(entries)
+        self._index = index
+        return stats
+
+    def stats(self) -> dict[str, int | float]:
+        """Lookup counters plus the hit rate (for CLI/bench reporting)."""
+        lookups = self.cell_hits + self.cell_misses
+        return {
+            "entries": len(self),
+            "cell_hits": self.cell_hits,
+            "cell_misses": self.cell_misses,
+            "writes": self.writes,
+            "hit_rate": self.cell_hits / lookups if lookups else 0.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# sweep-wave adapters (shared by the serial and parallel engines)
+# ---------------------------------------------------------------------------
+
+
+def lookup_cells(
+    store: CellStore,
+    keyer: SweepKeyer,
+    plan_ids: Sequence[str],
+    cells: Sequence[int],
+    shape: tuple[int, ...],
+) -> dict[int, dict[str, CellRecord]]:
+    """Partition a wave: the cells the store can answer completely.
+
+    A cell is a hit only when **every** swept plan has a stored record —
+    a partially known cell still needs its measurement pass (the runner
+    measures whole cells), so it counts as a miss.  Updates the store's
+    cell-level hit/miss counters.
+    """
+    hits: dict[int, dict[str, CellRecord]] = {}
+    for flat in cells:
+        idx = tuple(int(k) for k in np.unravel_index(flat, shape))
+        records: dict[str, CellRecord] = {}
+        for plan_id in plan_ids:
+            record = store.get(keyer.key(plan_id, idx))
+            if record is None:
+                break
+            records[plan_id] = record
+        if len(records) == len(plan_ids):
+            hits[flat] = records
+            store.cell_hits += 1
+        else:
+            store.cell_misses += 1
+    return hits
+
+
+def records_from_part(
+    keyer: SweepKeyer, part: "MapData"
+) -> list[tuple[str, CellRecord]]:
+    """Store entries for every measured (plan, cell) of a sweep part.
+
+    The inverse of :func:`lookup_cells`: walks the part's
+    :meth:`~repro.core.mapdata.MapData.cell_records` (its ``meta["cells"]``
+    coverage) and keys each value for write-back.  The parent process
+    calls this on the parts workers return — workers never touch the
+    store.
+    """
+    return [
+        (keyer.key(plan_id, idx), {"s": seconds, "a": aborted, "r": rows})
+        for idx, plan_id, seconds, aborted, rows in part.cell_records()
+    ]

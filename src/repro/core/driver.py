@@ -321,6 +321,10 @@ class SweepDriver:
     engine measures in-process, the parallel engine fans the wave out
     over its (persistent) worker pool.  The merged result is identical
     regardless of backend, chunking, or completion order.
+
+    ``wave_hits`` (optional) reports how many cells of the wave the
+    backend answered from the content-addressed cell store (None: no
+    store configured); round events carry it as ``cache_hits``.
     """
 
     def __init__(
@@ -330,12 +334,14 @@ class SweepDriver:
         policy: CellPolicy,
         scenario: str = "?",
         progress: Callable[[ProgressEvent], None] | None = None,
+        wave_hits: Callable[[], int | None] | None = None,
     ) -> None:
         self.measure = measure
         self.shape = tuple(int(n) for n in shape)
         self.policy = policy
         self.scenario = scenario
         self.progress = progress or (lambda event: None)
+        self.wave_hits = wave_hits or (lambda: None)
 
     def run(self) -> MapData:
         state = SweepState(shape=self.shape)
@@ -361,6 +367,7 @@ class SweepDriver:
                         kind="round",
                         round_index=state.round_index,
                         wave_cells=len(wave),
+                        cache_hits=self.wave_hits(),
                     )
                 )
         if state.mapdata is None:

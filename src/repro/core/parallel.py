@@ -39,12 +39,18 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.core.cellstore import (
+    CellStore,
+    SweepKeyer,
+    lookup_cells,
+    records_from_part,
+)
 from repro.core.driver import CellPolicy, DenseGridPolicy, SweepDriver
 from repro.core.mapdata import MapData
 from repro.core.parameter_space import Space1D, Space2D
 from repro.core.progress import ProgressEvent
 from repro.core.runner import Jitter, RobustnessSweep
-from repro.core.scenario import ScenarioSpec, build_scenario
+from repro.core.scenario import Scenario, ScenarioSpec, build_scenario
 from repro.errors import ExperimentError
 
 ProviderFactory = Callable[[], Sequence]
@@ -127,6 +133,46 @@ def _run_chunk(spec: ScenarioSpec, plan_filter, cells: list[int]) -> MapData:
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class _StoreContext:
+    """Parent-side cell-store machinery for one parallel sweep.
+
+    Workers never see the store: the parent partitions every wave into
+    hits and misses with this context, replays the hits through its own
+    in-process sweep (``parent._sweep_cells(..., preloaded=...)``), and
+    writes the parts workers return back to the store.
+    """
+
+    store: CellStore
+    parent: RobustnessSweep
+    scenario: Scenario
+    keyer: SweepKeyer
+    plan_ids: list[str]
+
+
+class _LazyPool:
+    """Worker pool created on first dispatch, sized to that dispatch.
+
+    A fully store-warm sweep never spawns a single process; a mostly-warm
+    one spawns only as many workers as its first miss batch needs
+    (initializers are the expensive part: each worker rebuilds the full
+    provider set).
+    """
+
+    def __init__(self, make: Callable[[int], ProcessPoolExecutor]) -> None:
+        self._make = make
+        self.pool: ProcessPoolExecutor | None = None
+
+    def get(self, n_tasks: int) -> ProcessPoolExecutor:
+        if self.pool is None:
+            self.pool = self._make(n_tasks)
+        return self.pool
+
+    def shutdown(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown()
+
+
 class ParallelSweep:
     """Chunked multi-process front end for :class:`RobustnessSweep`.
 
@@ -140,6 +186,13 @@ class ParallelSweep:
       chunks per worker (load balance without drowning in IPC).
     * ``progress`` — receives one :class:`ProgressEvent` per finished
       chunk (and per refinement round, under a multi-round policy).
+    * ``cell_store`` / ``store_context`` — the content-addressed
+      per-cell measurement store (see :mod:`repro.core.cellstore`).
+      Store access stays in the parent process: every wave is
+      partitioned into hits (replayed in-process, never dispatched) and
+      misses (measured by workers, written back by the parent), and the
+      pool is created lazily, sized to the first miss batch — a fully
+      warm sweep spawns no workers at all.
     """
 
     def __init__(
@@ -152,8 +205,12 @@ class ParallelSweep:
         n_workers: int = 0,
         chunk_cells: int = 0,
         progress: Callable[[ProgressEvent], None] | None = None,
+        cell_store: CellStore | None = None,
+        store_context: str = "",
     ) -> None:
         self.factory = factory
+        # Workers never receive the store (the parent owns all reads and
+        # writes), so these kwargs deliberately exclude it.
         self.sweep_kwargs = {
             "budget_seconds": budget_seconds,
             "memory_bytes": memory_bytes,
@@ -163,7 +220,10 @@ class ParallelSweep:
         self.n_workers = n_workers
         self.chunk_cells = chunk_cells
         self.progress = progress or (lambda event: None)
+        self.cell_store = cell_store
+        self.store_context = store_context
         self._serial: RobustnessSweep | None = None
+        self._last_wave_hits: int | None = None
 
     # ------------------------------------------------------------------
 
@@ -175,7 +235,11 @@ class ParallelSweep:
     def _serial_sweep(self) -> RobustnessSweep:
         if self._serial is None:
             self._serial = RobustnessSweep(
-                list(self.factory()), progress=self.progress, **self.sweep_kwargs
+                list(self.factory()),
+                progress=self.progress,
+                cell_store=self.cell_store,
+                store_context=self.store_context,
+                **self.sweep_kwargs,
             )
         return self._serial
 
@@ -220,52 +284,101 @@ class ParallelSweep:
             max_chunks = -(-n_cells // self.chunk_cells)
         else:
             max_chunks = workers * 4
-        with ProcessPoolExecutor(
-            max_workers=max(1, min(workers, n_cells, max_chunks)),
-            initializer=_init_worker,
-            initargs=(self.factory, self.sweep_kwargs),
-        ) as pool:
+
+        store_ctx: _StoreContext | None = None
+        if self.cell_store is not None:
+            # Parent-side scenario: keys, hit replay, and write-back all
+            # happen here, never in a worker.  Progress stays silent on
+            # this sweep — _measure_wave emits the chunk events itself.
+            parent = RobustnessSweep(list(self.factory()), **self.sweep_kwargs)
+            scenario = build_scenario(spec, parent.systems)
+            store_ctx = _StoreContext(
+                store=self.cell_store,
+                parent=parent,
+                scenario=scenario,
+                keyer=SweepKeyer(
+                    scenario,
+                    budget_seconds=parent.budget_seconds,
+                    memory_bytes=parent.memory_bytes,
+                    jitter=parent.jitter,
+                    context=self.store_context,
+                ),
+                plan_ids=parent._collect_plan_ids(
+                    scenario.plan_ids_by_provider(), plan_filter
+                ),
+            )
+
+        lazy = _LazyPool(
+            lambda n_tasks: ProcessPoolExecutor(
+                max_workers=max(1, min(workers, max(1, n_tasks), max_chunks)),
+                initializer=_init_worker,
+                initargs=(self.factory, self.sweep_kwargs),
+            )
+        )
+        try:
             driver = SweepDriver(
                 measure=lambda wave: self._measure_wave(
-                    pool, spec, plan_filter, wave, workers
+                    lazy, spec, plan_filter, wave, workers, store_ctx
                 ),
                 shape=spec.grid_shape,
                 policy=policy,
                 scenario=spec.name,
                 progress=self.progress,
+                wave_hits=lambda: self._last_wave_hits,
             )
             return driver.run()
+        finally:
+            lazy.shutdown()
 
     def _measure_wave(
         self,
-        pool: ProcessPoolExecutor,
+        lazy: _LazyPool,
         spec: ScenarioSpec,
         plan_filter,
         wave: list[int],
         workers: int,
+        store_ctx: _StoreContext | None,
     ) -> MapData:
-        """Measure one wave: chunk, dispatch, merge order-independently."""
-        if wave:
-            positions = self._chunks(len(wave), workers)
-            chunks = [[wave[i] for i in chunk] for chunk in positions]
+        """Measure one wave: partition, chunk, dispatch, merge.
+
+        With a store context the wave is first split into hits (replayed
+        in the parent, no dispatch) and misses (chunked out to workers,
+        then written back).  An all-hit wave touches the pool not at all;
+        pool creation is deferred to the first actual dispatch and sized
+        to it.  Merge order-independence is unchanged.
+        """
+        hits: dict = {}
+        if store_ctx is not None and wave:
+            hits = lookup_cells(
+                store_ctx.store,
+                store_ctx.keyer,
+                store_ctx.plan_ids,
+                wave,
+                spec.grid_shape,
+            )
+        self._last_wave_hits = len(hits) if store_ctx is not None else None
+        misses = [flat for flat in wave if flat not in hits]
+
+        if misses:
+            positions = self._chunks(len(misses), workers)
+            chunks = [[misses[i] for i in chunk] for chunk in positions]
+        elif wave or store_ctx is not None:
+            chunks = []
         else:
-            # Degenerate empty sweep: one empty chunk yields the classic
-            # all-NaN partial map, matching the serial path.
+            # Degenerate empty sweep, no store: one empty chunk yields
+            # the classic all-NaN partial map, matching the serial path.
             chunks = [[]]
         parts: list[MapData] = []
+        parts_total = len(chunks) + (1 if hits or (store_ctx and not wave) else 0)
         done_cells = 0
         # Elapsed/ETA are per wave (like the serial per-cell loop):
         # mixing a sweep-global clock with per-wave cell counts would
         # inflate later refinement rounds' ETAs by the earlier rounds'
         # runtime.
         start = time.monotonic()
-        futures = {
-            pool.submit(_run_chunk, spec, plan_filter, chunk): chunk
-            for chunk in chunks
-        }
-        for future in as_completed(futures):
-            parts.append(future.result())
-            done_cells += len(futures[future])
+        cache_hits = len(hits) if store_ctx is not None else None
+
+        def emit() -> None:
             self.progress(
                 ProgressEvent(
                     scenario=spec.name,
@@ -274,9 +387,40 @@ class ParallelSweep:
                     elapsed=time.monotonic() - start,
                     kind="chunk",
                     parts_done=len(parts),
-                    parts_total=len(chunks),
+                    parts_total=parts_total,
+                    cache_hits=cache_hits,
                 )
             )
+
+        if store_ctx is not None and (hits or not wave):
+            # Replay stored cells through the parent's in-process sweep:
+            # the part is built by the same code path a cold chunk uses,
+            # so the merged map stays bit-identical.
+            parts.append(
+                store_ctx.parent._sweep_cells(
+                    store_ctx.scenario,
+                    plan_filter,
+                    sorted(hits),
+                    preloaded=hits,
+                )
+            )
+            done_cells += len(hits)
+            emit()
+        if chunks:
+            pool = lazy.get(len(chunks))
+            futures = {
+                pool.submit(_run_chunk, spec, plan_filter, chunk): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                part = future.result()
+                if store_ctx is not None:
+                    store_ctx.store.put_many(
+                        records_from_part(store_ctx.keyer, part)
+                    )
+                parts.append(part)
+                done_cells += len(futures[future])
+                emit()
         # Completion order is scheduler noise; the driver's combine step
         # sorts parts by first cell index, so the merge is
         # order-independent by construction.

@@ -28,6 +28,11 @@ class ProgressEvent:
     event per completed wave).  ``done``/``total`` always count *cells*;
     chunk events additionally carry ``parts_done``/``parts_total`` and
     round events carry ``round_index``/``wave_cells``.
+
+    ``cache_hits`` counts the cells of the current scope (the sweep for
+    cell/chunk events, the wave for round events) that were answered by
+    the content-addressed cell store instead of being measured; ``None``
+    means no store was configured, so existing streams are unchanged.
     """
 
     scenario: str
@@ -40,6 +45,7 @@ class ProgressEvent:
     parts_total: int | None = None
     round_index: int | None = None
     wave_cells: int | None = None
+    cache_hits: int | None = None
 
     @property
     def eta(self) -> float | None:
@@ -62,24 +68,30 @@ class ProgressEvent:
             return f"elapsed {self.elapsed:.1f}s"
         return f"elapsed {self.elapsed:.1f}s, eta {eta:.1f}s"
 
+    def _cached(self) -> str:
+        if self.cache_hits is None:
+            return ""
+        return f", {self.cache_hits} cached"
+
     def render(self) -> str:
         """The human-readable progress line (matches the old strings)."""
         if self.kind == "chunk":
             return (
                 f"{self.scenario} sweep: {self.done}/{self.total} cells "
-                f"({self.parts_done}/{self.parts_total} chunks, "
-                f"{self._timing()})"
+                f"({self.parts_done}/{self.parts_total} chunks"
+                f"{self._cached()}, {self._timing()})"
             )
         if self.kind == "round":
             return (
                 f"{self.scenario} refine round {self.round_index}: "
                 f"{self.wave_cells} cells measured "
-                f"({self.done}/{self.total} total, {self._timing()})"
+                f"({self.done}/{self.total} total{self._cached()}, "
+                f"{self._timing()})"
             )
         described = f" ({self.detail})" if self.detail else ""
         return (
             f"{self.scenario} cell {self.done}/{self.total}{described} "
-            f"[{self._timing()}]"
+            f"[{self._timing()}{self._cached()}]"
         )
 
     __str__ = render

@@ -33,6 +33,12 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.cellstore import (
+    CellRecord,
+    CellStore,
+    SweepKeyer,
+    lookup_cells,
+)
 from repro.core.driver import (
     CellPolicy,
     DenseGridPolicy,
@@ -83,6 +89,14 @@ class RobustnessSweep:
     ``systems`` are the default plan providers for the shim entry points
     (:meth:`sweep_single_predicate`, :meth:`sweep_two_predicate`); the
     generic :meth:`sweep` uses whatever providers its scenario carries.
+
+    With a ``cell_store`` (see :mod:`repro.core.cellstore`), every wave
+    is partitioned into store hits (loaded, never measured) and misses
+    (measured, then written back); the resulting maps are bit-identical
+    to a cold sweep, censored cells and abort flags included.
+    ``store_context`` is the opaque caller string folded into every key —
+    it must cover whatever shapes the providers outside the scenario spec
+    (table rows/seed, buffer-pool pages, ...).
     """
 
     def __init__(
@@ -93,6 +107,8 @@ class RobustnessSweep:
         jitter: Jitter | None = None,
         verify_agreement: bool = True,
         progress: Callable[[ProgressEvent], None] | None = None,
+        cell_store: CellStore | None = None,
+        store_context: str = "",
     ) -> None:
         self.systems = list(systems)
         if not self.systems:
@@ -102,6 +118,9 @@ class RobustnessSweep:
         self.jitter = jitter
         self.verify_agreement = verify_agreement
         self.progress = progress or (lambda event: None)
+        self.cell_store = cell_store
+        self.store_context = store_context
+        self._last_wave_hits: int | None = None
 
     # ------------------------------------------------------------------
 
@@ -208,16 +227,55 @@ class RobustnessSweep:
             policy=policy,
             scenario=scenario.name,
             progress=self.progress,
+            wave_hits=lambda: self._last_wave_hits,
         )
         return driver.run()
+
+    def store_keyer(self, scenario: Scenario) -> SweepKeyer:
+        """The content-address keyer for this sweep's configuration."""
+        return SweepKeyer(
+            scenario,
+            budget_seconds=self.budget_seconds,
+            memory_bytes=self.memory_bytes,
+            jitter=self.jitter,
+            context=self.store_context,
+        )
+
+    def _fill_stored(
+        self,
+        records: dict[str, CellRecord],
+        plan_ids: list[str],
+        times: np.ndarray,
+        aborted: np.ndarray,
+        rows: np.ndarray,
+        idx: tuple[int, ...],
+    ) -> None:
+        """Replay one stored cell into the arrays (inverse of _record)."""
+        rows[idx] = int(records[plan_ids[0]]["r"])
+        for p, plan_id in enumerate(plan_ids):
+            record = records[plan_id]
+            index = (p, *idx)
+            if record["a"]:
+                aborted[index] = True  # times stays NaN, as _record leaves it
+            elif record["s"] is not None:
+                times[index] = float(record["s"])
 
     def _sweep_cells(
         self,
         scenario: Scenario,
         plan_filter: Callable[[str], bool] | None,
         cells: Sequence[int] | None,
+        preloaded: dict[int, dict[str, CellRecord]] | None = None,
     ) -> MapData:
-        """One wave: measure the given flat cell indices in order."""
+        """One wave: measure the given flat cell indices in order.
+
+        With a configured cell store, cells the store can answer are
+        loaded instead of measured and fresh measurements are written
+        back.  ``preloaded`` short-circuits the lookup with records the
+        caller already fetched (the parallel engine partitions waves in
+        the parent and hands the hit part here); preloaded waves are
+        never re-counted or written back.
+        """
         axes = scenario.axes
         shape = tuple(axis.n_points for axis in axes)
         n_cells = int(np.prod(shape))
@@ -233,7 +291,36 @@ class RobustnessSweep:
         aborted = np.zeros((len(plan_ids), *shape), dtype=bool)
         rows = np.zeros(shape, dtype=np.int64)
 
-        providers = scenario.providers()
+        start = time.monotonic()
+        keyer: SweepKeyer | None = None
+        hits: dict[int, dict[str, CellRecord]] = {}
+        if preloaded is not None:
+            hits = preloaded
+        elif self.cell_store is not None:
+            keyer = self.store_keyer(scenario)
+            hits = lookup_cells(
+                self.cell_store, keyer, plan_ids, cell_list, shape
+            )
+        track_hits = preloaded is not None or self.cell_store is not None
+        self._last_wave_hits = len(hits) if track_hits else None
+        for flat, records in hits.items():
+            idx = tuple(int(k) for k in np.unravel_index(flat, shape))
+            self._fill_stored(records, plan_ids, times, aborted, rows, idx)
+        misses = [flat for flat in cell_list if flat not in hits]
+        if hits:
+            self.progress(
+                ProgressEvent(
+                    scenario=scenario.name,
+                    done=len(hits),
+                    total=len(cell_list),
+                    elapsed=time.monotonic() - start,
+                    kind="cell",
+                    detail=f"{len(hits)} cells from cell store",
+                    cache_hits=len(hits),
+                )
+            )
+
+        providers = scenario.providers() if misses else []
         # One runner per provider, built once and reused across cells
         # (safe: every measure() cold-resets the environment).  Cells
         # that override memory_bytes get a fresh per-cell runner.
@@ -245,8 +332,7 @@ class RobustnessSweep:
             for provider in providers
         ]
 
-        start = time.monotonic()
-        for done, flat in enumerate(cell_list):
+        for done, flat in enumerate(misses):
             idx = tuple(int(k) for k in np.unravel_index(flat, shape))
             cell: Cell = scenario.cell(idx)
             rows[idx] = cell.expected_rows
@@ -271,13 +357,32 @@ class RobustnessSweep:
             self.progress(
                 ProgressEvent(
                     scenario=scenario.name,
-                    done=done + 1,
+                    done=len(hits) + done + 1,
                     total=len(cell_list),
                     elapsed=time.monotonic() - start,
                     kind="cell",
                     detail=cell.describe,
+                    cache_hits=len(hits) if track_hits else None,
                 )
             )
+
+        if self.cell_store is not None and keyer is not None and misses:
+            entries = []
+            for flat in misses:
+                idx = tuple(int(k) for k in np.unravel_index(flat, shape))
+                for p, plan_id in enumerate(plan_ids):
+                    seconds = float(times[(p, *idx)])
+                    entries.append(
+                        (
+                            keyer.key(plan_id, idx),
+                            {
+                                "s": None if np.isnan(seconds) else seconds,
+                                "a": bool(aborted[(p, *idx)]),
+                                "r": int(rows[idx]),
+                            },
+                        )
+                    )
+            self.cell_store.put_many(entries)
 
         meta = dict(scenario.meta(self))
         meta["scenario"] = scenario.name

@@ -204,7 +204,9 @@ class Scenario(ABC):
         :class:`~repro.core.driver.AdaptiveRefinePolicy` for
         coarse-to-fine refinement).  ``sweep_kwargs`` are forwarded to
         :class:`~repro.core.runner.RobustnessSweep` (budget_seconds,
-        memory_bytes, jitter, verify_agreement, progress).
+        memory_bytes, jitter, verify_agreement, progress, and the
+        content-addressed ``cell_store`` / ``store_context`` — see
+        :mod:`repro.core.cellstore`).
         """
         from repro.core.runner import RobustnessSweep
 
