@@ -1,0 +1,229 @@
+"""Wall-clock benchmark: the robustness-map service over real HTTP.
+
+Measures the three properties the service exists for and writes a
+``BENCH_service.json`` artifact so CI can track them:
+
+* **Cold request** — submit a map request against an empty cache, poll
+  until done: the full sweep cost plus service overhead.
+* **Warm request** — a fresh service process over the same whole-map
+  disk cache answers the identical request from disk (``cache_hit``);
+  ``--require-warm-speedup`` gates how much faster that must be.
+* **Dedup fan-in** — N concurrent clients submit the identical request
+  against a cold cache; single-flight dedup must collapse them onto one
+  sweep, so the wall clock stays ~the cost of one request (ratio
+  reported), every client gets byte-identical bytes, and the service
+  books exactly one job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        [--join-rows 512,724,...] [--clients 4] \
+        [--out BENCH_service.json] [--require-warm-speedup 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.bench.harness import BenchConfig
+from repro.service import JobManager, build_server
+
+
+def http_json(base: str, path: str, payload: dict | None = None) -> dict:
+    if payload is None:
+        request = urllib.request.Request(base + path)
+    else:
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    with urllib.request.urlopen(request) as resp:
+        return json.loads(resp.read())
+
+
+class Service:
+    """One JobManager + HTTP server on an ephemeral port."""
+
+    def __init__(self, config: BenchConfig, workers: int = 2) -> None:
+        self.manager = JobManager(config, workers=workers, queue_limit=16)
+        self.server = build_server(self.manager)
+        host, port = self.server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.manager.close()
+
+
+def run_request(base: str, request: dict) -> tuple[float, dict, bytes]:
+    """Submit, long-poll to completion, fetch the result bytes."""
+    start = time.perf_counter()
+    submitted = http_json(base, "/maps", request)
+    job_id = submitted["job_id"]
+    while True:
+        status = http_json(base, f"/jobs/{job_id}?wait=60")
+        if status["state"] in ("done", "failed"):
+            break
+    if status["state"] != "done":
+        raise RuntimeError(f"job failed: {status['error']}")
+    with urllib.request.urlopen(f"{base}/jobs/{job_id}/result") as resp:
+        body = resp.read()
+    elapsed = time.perf_counter() - start
+    result = json.loads(body)
+    map_bytes = json.dumps(result["map"], sort_keys=True).encode("utf-8")
+    return elapsed, status, map_bytes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--join-rows",
+        default="512,724,1024,1448,2048,2896,4096,5792",
+        help="join-scenario grid axis (the benched map is the join map)",
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--require-warm-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero when the disk-cache-warm request is not at "
+        "least this many times faster than the cold request",
+    )
+    args = parser.parse_args(argv)
+    join_rows = tuple(int(r) for r in args.join_rows.split(","))
+    request = {"scenario": "join", "overrides": {"join_rows": list(join_rows)}}
+    n_cells = len(join_rows) ** 2
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = BenchConfig(cache_dir=tmp, cell_cache_dir=None)
+
+        print(f"cold request: join {len(join_rows)}x{len(join_rows)} grid")
+        cold_service = Service(config)
+        try:
+            cold_s, cold_status, cold_bytes = run_request(
+                cold_service.base, request
+            )
+        finally:
+            cold_service.close()
+        print(f"cold:  {cold_s:8.2f}s  (cache_hit={cold_status['cache_hit']})")
+        if cold_status["cache_hit"]:
+            failures.append("cold request unexpectedly hit a cache")
+
+        # A fresh service over the same map cache: disk answers.
+        warm_service = Service(config)
+        try:
+            warm_s, warm_status, warm_bytes = run_request(
+                warm_service.base, request
+            )
+            # Sequential resubmissions of a finished job: pure service
+            # overhead (submit + status + result fetch per round trip).
+            polls = 25
+            start = time.perf_counter()
+            for _ in range(polls):
+                run_request(warm_service.base, request)
+            poll_rps = polls / (time.perf_counter() - start)
+        finally:
+            warm_service.close()
+        warm_speedup = cold_s / warm_s if warm_s else float("inf")
+        print(
+            f"warm:  {warm_s:8.4f}s  ({warm_speedup:.1f}x, "
+            f"cache_hit={warm_status['cache_hit']}, "
+            f"{poll_rps:.0f} finished-job requests/s)"
+        )
+        if not warm_status["cache_hit"]:
+            failures.append("warm request did not report cache_hit")
+        if warm_bytes != cold_bytes:
+            failures.append("warm result differs from cold result")
+        if args.require_warm_speedup is not None and (
+            warm_speedup < args.require_warm_speedup
+        ):
+            failures.append(
+                f"warm speedup {warm_speedup:.1f}x < required "
+                f"{args.require_warm_speedup:.1f}x"
+            )
+
+    # Dedup fan-in: N concurrent identical requests on a cold cache.
+    with tempfile.TemporaryDirectory() as tmp:
+        fanin_service = Service(BenchConfig(cache_dir=tmp))
+        outcomes: list[tuple[float, dict, bytes]] = [None] * args.clients
+        try:
+
+            def client(slot: int) -> None:
+                outcomes[slot] = run_request(fanin_service.base, request)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(args.clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            fanin_wall = time.perf_counter() - start
+            stats = http_json(fanin_service.base, "/stats")
+        finally:
+            fanin_service.close()
+        fanin_ratio = fanin_wall / cold_s if cold_s else float("inf")
+        print(
+            f"dedup: {args.clients} concurrent clients in {fanin_wall:8.2f}s "
+            f"({fanin_ratio:.2f}x one cold request, "
+            f"{stats['jobs']} job(s) booked)"
+        )
+        if stats["jobs"] != 1:
+            failures.append(
+                f"dedup fan-in booked {stats['jobs']} jobs, expected 1"
+            )
+        bodies = {outcome[2] for outcome in outcomes}
+        if len(bodies) != 1 or next(iter(bodies)) != cold_bytes:
+            failures.append("fan-in clients saw differing result bytes")
+        # One shared sweep: the fan-in wall clock must not scale with N.
+        # 2x leaves headroom for polling overhead on slow CI boxes.
+        if fanin_ratio > 2.0:
+            failures.append(
+                f"fan-in wall {fanin_ratio:.2f}x cold; dedup should keep "
+                "N concurrent identical requests ~the cost of one"
+            )
+
+    payload = {
+        "bench": "map_service",
+        "grid": [len(join_rows), len(join_rows)],
+        "n_cells": n_cells,
+        "clients": args.clients,
+        "platform": platform.platform(),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(warm_speedup, 4),
+        "warm_cache_hit": warm_status["cache_hit"],
+        "finished_job_rps": round(poll_rps, 2),
+        "fanin_wall_seconds": round(fanin_wall, 4),
+        "fanin_ratio_vs_cold": round(fanin_ratio, 4),
+        "fanin_jobs_booked": stats["jobs"],
+        "bit_identical": not any("differ" in f for f in failures),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Usage::
                   [--cell-cache cellstore/]
     repro-figures [output_dir] --scenario sort_spill,memory_sweep
     repro-figures [output_dir] --scenario estimation --regret
+    repro-figures --cell-cache cellstore/ --cell-cache-compact
+    repro-figures serve [--port 8642] [--service-workers 2] [...]
 
 Figure mode writes SVG/PNG artifacts, prints the paper-vs-measured claim
 tables, and exits non-zero if any claim fails (usable as a CI robustness
@@ -28,7 +30,15 @@ categorical *choice map* and one *regret map* per policy.
 store: every already-measured (plan, cell) is loaded instead of
 re-measured — across reruns, grid-resolution changes, plan subsets, and
 refinement passes — with progress lines showing the per-wave hit count
-and a final store summary line.
+and a final store summary line.  ``--cell-cache-compact`` rewrites that
+store's shards, dropping superseded and corrupt lines, and prints what
+was reclaimed.
+
+``serve`` runs the robustness-map HTTP service (submit map requests,
+poll progress and partial maps, fetch results and rendered figures) on
+a bounded job pool with single-flight dedup; see
+:mod:`repro.service.http` for the endpoints.  Defaults honor
+``REPRO_SERVICE_PORT`` and ``REPRO_SERVICE_WORKERS``.
 """
 
 from __future__ import annotations
@@ -216,7 +226,109 @@ def _print_store_stats(session: BenchSession) -> None:
     )
 
 
+def _compact_cell_cache(directory: str) -> int:
+    """``--cell-cache-compact``: rewrite shards, report reclaimed lines."""
+    from repro.core.cellstore import CellStore
+
+    store = CellStore(directory)
+    report = store.compact()
+    print(
+        f"cell store {store.directory}: kept {report['kept']} entries, "
+        f"reclaimed {report['superseded']} superseded and "
+        f"{report['corrupt']} corrupt lines"
+    )
+    return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the robustness-map HTTP service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-figures serve",
+        description="Serve robustness maps over HTTP (stdlib only): "
+        "POST /maps submits a request, GET /jobs/<id> polls progress, "
+        "/partial returns measured-so-far snapshots, /result the "
+        "finished map, /render/<plan>.svg|.png the figures.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default localhost)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=int(os.environ.get("REPRO_SERVICE_PORT", 8642)),
+        help="TCP port (default: REPRO_SERVICE_PORT or 8642; 0 picks one)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=int(os.environ.get("REPRO_SERVICE_WORKERS", 2)),
+        help="concurrent map jobs (default: REPRO_SERVICE_WORKERS or 2)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="pending jobs beyond the workers before submissions get 429",
+    )
+    parser.add_argument(
+        "--cell-budget",
+        type=int,
+        default=None,
+        help="max cells a single request may measure (default: unlimited)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1,
+        help="serial sweeps publish a partial-map snapshot every N cells",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="table rows override")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker *processes* per job (REPRO_BENCH_WORKERS)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="whole-map disk cache shared by all jobs (REPRO_BENCH_CACHE)",
+    )
+    parser.add_argument(
+        "--cell-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed per-cell store shared by all jobs "
+        "(REPRO_BENCH_CELL_CACHE)",
+    )
+    args = parser.parse_args(argv)
+    if args.rows is not None:
+        os.environ["REPRO_BENCH_ROWS"] = str(args.rows)
+    if args.workers is not None:
+        os.environ["REPRO_BENCH_WORKERS"] = str(args.workers)
+    if args.cache is not None:
+        os.environ["REPRO_BENCH_CACHE"] = args.cache
+    if args.cell_cache is not None:
+        os.environ["REPRO_BENCH_CELL_CACHE"] = args.cell_cache
+    from repro.service import JobManager, serve
+
+    manager = JobManager(
+        BenchConfig(),
+        workers=args.service_workers,
+        queue_limit=args.queue_limit,
+        cell_budget=args.cell_budget,
+        snapshot_every=args.snapshot_every,
+    )
+    serve(manager, host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?", default="figures", help="output directory")
     parser.add_argument(
@@ -263,6 +375,13 @@ def main(argv: list[str] | None = None) -> int:
         "REPRO_BENCH_CELL_CACHE)",
     )
     parser.add_argument(
+        "--cell-cache-compact",
+        action="store_true",
+        help="compact the per-cell store (drop superseded/corrupt lines), "
+        "print what was reclaimed, and exit (needs --cell-cache or "
+        "REPRO_BENCH_CELL_CACHE)",
+    )
+    parser.add_argument(
         "--scenario",
         default=None,
         help="comma-separated scenario names (runs scenario sweeps "
@@ -287,6 +406,14 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_BENCH_MAX_CELLS"] = str(args.max_cells)
     if args.cell_cache is not None:
         os.environ["REPRO_BENCH_CELL_CACHE"] = args.cell_cache
+    if args.cell_cache_compact:
+        directory = args.cell_cache or os.environ.get("REPRO_BENCH_CELL_CACHE")
+        if not directory:
+            parser.error(
+                "--cell-cache-compact needs --cell-cache DIR "
+                "(or REPRO_BENCH_CELL_CACHE)"
+            )
+        return _compact_cell_cache(directory)
     progress = _ProgressPrinter() if args.progress else None
     session = BenchSession(BenchConfig(), progress=progress)
     if args.scenario is not None:

@@ -1,5 +1,11 @@
 """Shared bench session: systems + sweeps, computed once, cached.
 
+Which maps exist, how each one is built, and how requests for them are
+addressed lives in :mod:`repro.bench.requests` (the declarative
+``MAP_DEFINITIONS`` registry + serializable :class:`MapRequest`); this
+module keeps the *session*: lazily-built systems, thread-safe memoization
+over the registry, and the whole-map disk cache.
+
 Scale knobs (environment variables, so CI can dial them):
 
 * ``REPRO_BENCH_ROWS``     — table rows (default 2^17).
@@ -31,233 +37,80 @@ densified on the way out, so renderers and analyses see full grids while
 
 from __future__ import annotations
 
-import hashlib
-import os
-from dataclasses import dataclass, field, fields
-from pathlib import Path
-from typing import Sequence
+import threading
+from typing import Callable, Sequence
 
+from repro.bench.requests import (  # noqa: F401  (re-exported: public API)
+    MAP_DEFINITIONS,
+    BenchConfig,
+    MapDefinition,
+    MapRequest,
+    _session_system_a,
+    _session_systems,
+    available_requests,
+    compute_map,
+    definition_for,
+)
 from repro.core.cellstore import CellStore
 from repro.core.choice import ChoiceMap, build_choice_map
 from repro.core.driver import AdaptiveRefinePolicy, CellPolicy
 from repro.core.mapdata import MapData
-from repro.core.parallel import ParallelSweep
-from repro.core.parameter_space import Space1D, Space2D
-from repro.core.runner import Jitter, RobustnessSweep
-from repro.core.scenario import (
-    EstimationErrorScenario,
-    JoinScenario,
-    MemorySweepScenario,
-    OperatorBench,
-    SinglePredicateScenario,
-    SortSpillScenario,
-    TwoPredicateScenario,
-    operator_bench_factory,
-)
+from repro.core.scenario import EstimationErrorScenario
 from repro.errors import ExperimentError
 from repro.optimizer import STANDARD_POLICIES, PlanChooser, SelectionPolicy
 from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
 from repro.workloads import LineitemConfig
 
-
-def _env_int(name: str, default: int) -> int:
-    return int(os.environ.get(name, default))
-
-
-@dataclass(frozen=True)
-class BenchConfig:
-    """Scale parameters for one bench session."""
-
-    n_rows: int = field(default_factory=lambda: _env_int("REPRO_BENCH_ROWS", 1 << 17))
-    min_exp_1d: int = field(default_factory=lambda: _env_int("REPRO_BENCH_MIN_EXP", -16))
-    min_exp_2d: int = field(default_factory=lambda: _env_int("REPRO_BENCH_MIN_EXP_2D", -12))
-    seed: int = 42
-    pool_pages: int = 256
-    budget_scale: float = 50.0
-    """Cost budget = budget_scale x the table-scan cost (censors blowups)."""
-
-    memory_bytes: int = 4 << 20
-    """Workspace memory per plan (bounded, so large builds spill)."""
-
-    sort_rows: tuple = (2048, 4096, 8192, 16384, 24576, 32768)
-    """Input-size axis of the sort-spill scenario (rows)."""
-
-    sort_memory: tuple = (256 << 10, 512 << 10, 1 << 20, 2 << 20)
-    """Memory axis of the sort-spill scenario (bytes per cell)."""
-
-    sort_row_bytes: int = 128
-    """Row width assumed by the sort-spill scenario."""
-
-    memory_axis: tuple = (16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20)
-    """Per-cell workspace budgets of the memory-sweep scenario (bytes)."""
-
-    join_rows: tuple = (512, 1024, 2048, 4096, 8192)
-    """Both input-cardinality axes of the join scenario (square grid, so
-    the merge-join symmetry landmark is well defined)."""
-
-    join_memory_bytes: int = 64 << 10
-    """Workspace per join measurement (tight: large builds must spill)."""
-
-    join_row_bytes: int = 16
-    """Row width assumed by the join scenario."""
-
-    join_key_domain: int = 1 << 16
-    """Join key domain (controls match density and output sizes)."""
-
-    error_magnitudes: tuple = (0.0, 0.5, 1.0, 2.0, 3.0)
-    """Error axis of the estimation scenario (std dev of ln q per cell).
-    The top magnitude allows order-of-magnitude misestimates — the regime
-    where plan choice actually flips."""
-
-    error_bias: float = 0.0
-    """Systematic ln-q bias of the estimation error model."""
-
-    error_seed: int = 2009
-    """Seed of the estimation error model (fingerprinted, like all of
-    these knobs, so choice/regret caches can never mix error models)."""
-
-    refine: bool = field(
-        default_factory=lambda: os.environ.get("REPRO_BENCH_REFINE", "")
-        not in ("", "0")
-    )
-    """Sweep adaptively (coarse-to-fine refinement) instead of densely."""
-
-    refine_max_cells: int = field(
-        default_factory=lambda: _env_int("REPRO_BENCH_MAX_CELLS", 0)
-    )
-    """Refinement cell budget per sweep (0: refine until nothing is
-    interesting; the budget spends itself cliffs-first)."""
-
-    n_workers: int = field(
-        default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
-    )
-    """Sweep worker processes (0/1: serial, -1: all cores)."""
-
-    cache_dir: str | None = field(
-        default_factory=lambda: os.environ.get("REPRO_BENCH_CACHE")
-    )
-
-    cell_cache_dir: str | None = field(
-        default_factory=lambda: os.environ.get("REPRO_BENCH_CELL_CACHE")
-    )
-    """Directory of the content-addressed per-cell measurement store
-    (default: none).  Unlike ``cache_dir`` (whole-map, all-or-nothing),
-    the cell store survives grid-resolution changes, plan-subset sweeps,
-    and refinement reruns — only the overlapping cells hit."""
-
-    #: Knobs that cannot change any *individual* cell measurement: cache
-    #: locations, worker counts, the grid/axis layouts (cell coordinates
-    #: are part of each cell's key), and the cell policy.  Everything
-    #: else lands in :meth:`cell_store_context` — exclusion-based, so a
-    #: future knob defaults into the context (a false miss re-measures;
-    #: a false hit would corrupt maps silently).
-    _CELL_CONTEXT_EXCLUDED = frozenset(
-        {
-            "n_workers",
-            "cache_dir",
-            "cell_cache_dir",
-            "min_exp_1d",
-            "min_exp_2d",
-            "sort_rows",
-            "sort_memory",
-            "memory_axis",
-            "join_rows",
-            "error_magnitudes",
-            "refine",
-            "refine_max_cells",
-        }
-    )
-
-    def _knob_digest(self, excluded: frozenset) -> str:
-        payload = repr(
-            [
-                (f.name, getattr(self, f.name))
-                for f in fields(self)
-                if f.name not in excluded
-            ]
-        ).encode("utf-8")
-        return hashlib.blake2s(payload, digest_size=8).hexdigest()
-
-    def fingerprint(self) -> str:
-        """Digest over every result-shaping knob (not workers/caches).
-
-        Worker count and cache locations cannot change the measured map —
-        the parallel engine is bit-identical — so they stay out of the
-        fingerprint and do not invalidate caches.
-        """
-        return self._knob_digest(
-            frozenset({"n_workers", "cache_dir", "cell_cache_dir"})
-        )
-
-    def cell_store_context(self) -> str:
-        """The opaque context string folded into every cell-store key.
-
-        The :meth:`fingerprint` discipline minus grid-shape, plan-set,
-        and policy knobs: it covers what shapes the providers and
-        measurements *outside* the scenario specs (table rows and seed,
-        buffer-pool pages, budgets, ...), so overlapping grids,
-        plan-subset sweeps, and refinement reruns of the same session
-        configuration all hit.
-        """
-        return self._knob_digest(self._CELL_CONTEXT_EXCLUDED)
-
-    def cache_path(self, key: str) -> Path | None:
-        if not self.cache_dir:
-            return None
-        directory = Path(self.cache_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        return (
-            directory
-            / f"{key}_rows{self.n_rows}_seed{self.seed}_{self.fingerprint()}.json"
-        )
-
-
-def _session_systems(config: BenchConfig) -> list[DatabaseSystem]:
-    """Build the three bench systems for a config (picklable factory)."""
-    return list(
-        build_three_systems(
-            SystemConfig(
-                lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
-                pool_pages=config.pool_pages,
-            )
-        ).values()
-    )
-
-
-def _session_system_a(config: BenchConfig) -> list[DatabaseSystem]:
-    """System A alone (the 1-D sweeps), as a picklable factory."""
-    from repro.systems.system_a import SystemA
-
-    return [
-        SystemA(
-            SystemConfig(
-                lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
-                pool_pages=config.pool_pages,
-            )
-        )
-    ]
+#: Whole-map cache key -> registry entry (stale-file shape validation).
+_BY_CACHE_KEY: dict[str, MapDefinition] = {
+    definition.cache_key: definition
+    for definition in MAP_DEFINITIONS.values()
+}
 
 
 class BenchSession:
-    """Builds systems lazily and memoizes the expensive sweeps."""
+    """Builds systems lazily and memoizes the expensive sweeps.
+
+    Memoization is thread-safe: the maps/choices books are guarded by a
+    session lock and every cache key additionally gets its own lock, so
+    concurrent callers asking for the *same* map (the service's worker
+    threads) serialize on that key — one computes, the rest reuse — while
+    requests for *different* keys do not block each other's bookkeeping.
+    The measurement engines themselves share the session's systems, so
+    truly concurrent sweeps should run on separate sessions (the service
+    gives every distinct request its own); the locks here make the
+    bookkeeping and the disk-cache write safe, not the physics.
+
+    ``snapshot_every`` threads straight into the sweep engines: every
+    N-th measured cell (serial) or every finished chunk/round (parallel,
+    refinement) the progress stream carries a partial-map snapshot (see
+    :class:`repro.core.progress.ProgressEvent`).
+    """
 
     def __init__(
         self,
         config: BenchConfig | None = None,
         progress=None,
+        snapshot_every: int | None = None,
     ) -> None:
         self.config = config or BenchConfig()
         self.progress = progress
+        self.snapshot_every = snapshot_every
         self._systems: dict[str, DatabaseSystem] | None = None
         self._maps: dict[str, MapData] = {}
         self._choices: dict[str, ChoiceMap] = {}
         self._cell_store: CellStore | None = None
+        self._lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self._systems_lock = threading.Lock()
+        self._choices_lock = threading.Lock()
 
     def cell_store(self) -> CellStore | None:
         """The session's per-cell measurement store (None: not enabled)."""
-        if self.config.cell_cache_dir and self._cell_store is None:
-            self._cell_store = CellStore(self.config.cell_cache_dir)
-        return self._cell_store
+        with self._lock:
+            if self.config.cell_cache_dir and self._cell_store is None:
+                self._cell_store = CellStore(self.config.cell_cache_dir)
+            return self._cell_store
 
     def _store_kwargs(self) -> dict:
         """Sweep kwargs wiring the cell store into any engine (or not)."""
@@ -273,15 +126,18 @@ class BenchSession:
 
     @property
     def systems(self) -> dict[str, DatabaseSystem]:
-        if self._systems is None:
-            config = self.config
-            self._systems = build_three_systems(
-                SystemConfig(
-                    lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
-                    pool_pages=config.pool_pages,
+        with self._systems_lock:
+            if self._systems is None:
+                config = self.config
+                self._systems = build_three_systems(
+                    SystemConfig(
+                        lineitem=LineitemConfig(
+                            n_rows=config.n_rows, seed=config.seed
+                        ),
+                        pool_pages=config.pool_pages,
+                    )
                 )
-            )
-        return self._systems
+            return self._systems
 
     @property
     def system_a(self) -> DatabaseSystem:
@@ -302,21 +158,11 @@ class BenchSession:
 
     def _grid_shape(self, key: str) -> tuple[int, ...]:
         """Expected grid shape for a cached map (stale-file detection)."""
-        if key.startswith("single_predicate"):
-            return (1 - self.config.min_exp_1d,)
-        if key == "scenario_sort_spill":
-            return (len(self.config.sort_rows), len(self.config.sort_memory))
-        if key == "scenario_memory_sweep":
-            return (1 - self.config.min_exp_2d, len(self.config.memory_axis))
-        if key == "scenario_join":
-            return (len(self.config.join_rows), len(self.config.join_rows))
-        if key == "scenario_estimation":
-            return (
-                1 - self.config.min_exp_2d,
-                len(self.config.error_magnitudes),
-            )
-        n = 1 - self.config.min_exp_2d
-        return (n, n)
+        try:
+            definition = _BY_CACHE_KEY[key]
+        except KeyError:
+            raise ExperimentError(f"unknown map cache key {key!r}") from None
+        return definition.grid_shape(self.config)
 
     def _cache_valid(self, mapdata: MapData, key: str) -> bool:
         """Fingerprint, shape, and *policy* must all match the config.
@@ -335,26 +181,39 @@ class BenchSession:
             and (self.config.refine or not mapdata.is_partial)
         )
 
-    def _cached(self, key: str, compute) -> MapData:
-        if key in self._maps:
-            return self._maps[key]
-        path = self.config.cache_path(key)
-        mapdata: MapData | None = None
-        if path is not None and path.exists():
-            loaded = MapData.load(path)
-            if self._cache_valid(loaded, key):
-                mapdata = loaded
-        if mapdata is None:
-            mapdata = compute()
-            mapdata.meta["config_fingerprint"] = self.config.fingerprint()
-            if path is not None:
-                mapdata.save(path)  # refined maps are cached raw (sparse)
-        if mapdata.is_partial:
-            # Renderers and analyses see the full-grid interpolation
-            # view; meta["measured_cells"] keeps the coverage honest.
-            mapdata = mapdata.densify()
-        self._maps[key] = mapdata
-        return mapdata
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._lock:
+            return self._key_locks.setdefault(key, threading.Lock())
+
+    def _cached(self, key: str, compute: Callable[[], MapData]) -> MapData:
+        with self._lock:
+            if key in self._maps:
+                return self._maps[key]
+        # Serialize per key: concurrent requests for the same map wait
+        # for the first computation instead of racing it (and racing the
+        # disk-cache write); other keys proceed independently.
+        with self._key_lock(key):
+            with self._lock:
+                if key in self._maps:
+                    return self._maps[key]
+            path = self.config.cache_path(key)
+            mapdata: MapData | None = None
+            if path is not None and path.exists():
+                loaded = MapData.load(path)
+                if self._cache_valid(loaded, key):
+                    mapdata = loaded
+            if mapdata is None:
+                mapdata = compute()
+                mapdata.meta["config_fingerprint"] = self.config.fingerprint()
+                if path is not None:
+                    mapdata.save(path)  # refined maps cached raw (sparse)
+            if mapdata.is_partial:
+                # Renderers and analyses see the full-grid interpolation
+                # view; meta["measured_cells"] keeps the coverage honest.
+                mapdata = mapdata.densify()
+            with self._lock:
+                self._maps[key] = mapdata
+            return mapdata
 
     def _policy(self) -> CellPolicy | None:
         """A fresh cell policy per sweep (policies carry wave state)."""
@@ -368,134 +227,50 @@ class BenchSession:
         """True when n_workers asks for workers (-1 means all cores)."""
         return self.config.n_workers == -1 or self.config.n_workers > 1
 
-    def _sweep_engine(self, factory, jitter: Jitter | None = None) -> ParallelSweep:
-        """One knob for both paths: serial when n_workers <= 1."""
-        return ParallelSweep(
-            factory,
-            budget_seconds=self.budget(),
-            memory_bytes=self.config.memory_bytes,
-            jitter=jitter,
-            n_workers=self.config.n_workers,
-            progress=self.progress,
-            **self._store_kwargs(),
+    # ------------------------------------------------------------------
+    # the registry-backed map surface
+    # ------------------------------------------------------------------
+
+    def _map_for(self, definition: MapDefinition) -> MapData:
+        """Compute (or load) one registry entry's map on this session."""
+        return self._cached(
+            definition.cache_key, lambda: compute_map(self, definition)
         )
+
+    def request_map(self, request: MapRequest) -> MapData:
+        """Compute (or load) the map a serializable request addresses.
+
+        A request resolving to this session's own config runs (and
+        memoizes) right here; knob overrides get a derived session so
+        the providers match the overridden scale.
+        """
+        definition = definition_for(request.scenario)
+        resolved = request.resolve(self.config)
+        if resolved == self.config:
+            return self._map_for(definition)
+        derived = BenchSession(
+            resolved,
+            progress=self.progress,
+            snapshot_every=self.snapshot_every,
+        )
+        return derived._map_for(definition)
 
     def single_predicate_map(self) -> MapData:
         """1-D sweep over System A's 7 single-predicate plans (Figs 1-2)."""
-
-        def compute() -> MapData:
-            config = self.config
-            space = Space1D.log2("selectivity", config.min_exp_1d, 0)
-            if self._wants_parallel():
-                from functools import partial
-
-                engine = self._sweep_engine(partial(_session_system_a, config))
-                spec = SinglePredicateScenario.build_spec(space)
-                return engine.sweep(spec, policy=self._policy())
-            sweep = RobustnessSweep(
-                [self.system_a],
-                budget_seconds=self.budget(),
-                memory_bytes=config.memory_bytes,
-                progress=self.progress or (lambda event: None),
-                **self._store_kwargs(),
-            )
-            scenario = SinglePredicateScenario([self.system_a], space)
-            return sweep.sweep(scenario, policy=self._policy())
-
-        return self._cached("single_predicate", compute)
+        return self._map_for(definition_for("single_predicate"))
 
     def two_predicate_map(self, jitter: bool = True) -> MapData:
         """2-D sweep over all 15 plans of systems A, B, C (Figs 4-10)."""
-
-        def compute() -> MapData:
-            config = self.config
-            noise = (
-                Jitter(rel=0.01, abs=0.0005, seed=config.seed) if jitter else None
-            )
-            space = Space2D.log2("sel_a", "sel_b", config.min_exp_2d, 0)
-            if self._wants_parallel():
-                from functools import partial
-
-                engine = self._sweep_engine(
-                    partial(_session_systems, config), jitter=noise
-                )
-                spec = TwoPredicateScenario.build_spec(space.x, space.y)
-                return engine.sweep(spec, policy=self._policy())
-            sweep = RobustnessSweep(
-                list(self.systems.values()),
-                budget_seconds=self.budget(),
-                memory_bytes=config.memory_bytes,
-                jitter=noise,
-                progress=self.progress or (lambda event: None),
-                **self._store_kwargs(),
-            )
-            scenario = TwoPredicateScenario(list(self.systems.values()), space)
-            return sweep.sweep(scenario, policy=self._policy())
-
-        key = "two_predicate" + ("" if jitter else "_nojitter")
-        return self._cached(key, compute)
-
-    # ------------------------------------------------------------------
-    # scenario registry (the §4 dimensions + the two canonical sweeps)
-    # ------------------------------------------------------------------
+        name = "two_predicate" if jitter else "two_predicate_nojitter"
+        return self._map_for(definition_for(name))
 
     def sort_spill_map(self) -> MapData:
         """Input rows x memory for the two sort spill policies (§4)."""
-
-        def compute() -> MapData:
-            config = self.config
-            scenario = SortSpillScenario(
-                OperatorBench(),
-                config.sort_rows,
-                config.sort_memory,
-                row_bytes=config.sort_row_bytes,
-                seed=config.seed,
-            )
-            # Budget yardstick intrinsic to the scenario (no systems
-            # needed): budget_scale x the largest fully-in-memory sort.
-            budget = config.budget_scale * scenario.baseline_seconds()
-            if self._wants_parallel():
-                engine = ParallelSweep(
-                    operator_bench_factory,
-                    budget_seconds=budget,
-                    n_workers=config.n_workers,
-                    progress=self.progress,
-                    **self._store_kwargs(),
-                )
-                return engine.sweep(scenario.spec(), policy=self._policy())
-            return scenario.run(
-                budget_seconds=budget,
-                policy=self._policy(),
-                progress=self.progress or (lambda event: None),
-                **self._store_kwargs(),
-            )
-
-        return self._cached("scenario_sort_spill", compute)
+        return self._map_for(definition_for("sort_spill"))
 
     def memory_sweep_map(self) -> MapData:
         """Selectivity x per-cell memory budget over System A's plans."""
-
-        def compute() -> MapData:
-            config = self.config
-            space = Space1D.log2("selectivity", config.min_exp_2d, 0)
-            if self._wants_parallel():
-                from functools import partial
-
-                engine = self._sweep_engine(partial(_session_system_a, config))
-                spec = MemorySweepScenario.build_spec(space, config.memory_axis)
-                return engine.sweep(spec, policy=self._policy())
-            scenario = MemorySweepScenario(
-                [self.system_a], space, config.memory_axis
-            )
-            return scenario.run(
-                budget_seconds=self.budget(),
-                memory_bytes=config.memory_bytes,
-                policy=self._policy(),
-                progress=self.progress or (lambda event: None),
-                **self._store_kwargs(),
-            )
-
-        return self._cached("scenario_memory_sweep", compute)
+        return self._map_for(definition_for("memory_sweep"))
 
     def join_map(self) -> MapData:
         """Build rows x probe rows over the four join plans (Figs 4-5).
@@ -504,57 +279,7 @@ class BenchSession:
         map comes out symmetric, the hash joins show the build-side
         spill cliff, the index nested-loop join is probe-bound.
         """
-
-        def compute() -> MapData:
-            config = self.config
-            scenario = JoinScenario(
-                OperatorBench(),
-                config.join_rows,
-                config.join_rows,
-                row_bytes=config.join_row_bytes,
-                key_domain=config.join_key_domain,
-                seed=config.seed,
-            )
-            # Budget yardstick intrinsic to the scenario (no systems
-            # needed): budget_scale x the largest all-in-memory merge join.
-            budget = config.budget_scale * scenario.baseline_seconds()
-            if self._wants_parallel():
-                engine = ParallelSweep(
-                    operator_bench_factory,
-                    budget_seconds=budget,
-                    memory_bytes=config.join_memory_bytes,
-                    n_workers=config.n_workers,
-                    progress=self.progress,
-                    **self._store_kwargs(),
-                )
-                return engine.sweep(scenario.spec(), policy=self._policy())
-            return scenario.run(
-                budget_seconds=budget,
-                memory_bytes=config.join_memory_bytes,
-                policy=self._policy(),
-                progress=self.progress or (lambda event: None),
-                **self._store_kwargs(),
-            )
-
-        return self._cached("scenario_join", compute)
-
-    # ------------------------------------------------------------------
-    # the optimizer's scenario: estimation error, choice and regret maps
-    # ------------------------------------------------------------------
-
-    def _estimation_space(self) -> Space1D:
-        return Space1D.log2("selectivity", self.config.min_exp_2d, 0)
-
-    def estimation_scenario(self) -> EstimationErrorScenario:
-        """The estimation scenario bound to this session's System A."""
-        config = self.config
-        return EstimationErrorScenario(
-            [self.system_a],
-            self._estimation_space(),
-            magnitudes=config.error_magnitudes,
-            error_bias=config.error_bias,
-            error_seed=config.error_seed,
-        )
+        return self._map_for(definition_for("join"))
 
     def estimation_map(self) -> MapData:
         """Selectivity x error magnitude over System A's 7 plans.
@@ -564,29 +289,17 @@ class BenchSession:
         axis exists so :meth:`choice_maps` can evaluate every policy
         under growing error against the same measured surface.
         """
+        return self._map_for(definition_for("estimation"))
 
-        def compute() -> MapData:
-            config = self.config
-            if self._wants_parallel():
-                from functools import partial
+    # ------------------------------------------------------------------
+    # the optimizer's scenario: choice and regret maps
+    # ------------------------------------------------------------------
 
-                engine = self._sweep_engine(partial(_session_system_a, config))
-                spec = EstimationErrorScenario.build_spec(
-                    self._estimation_space(),
-                    config.error_magnitudes,
-                    error_bias=config.error_bias,
-                    error_seed=config.error_seed,
-                )
-                return engine.sweep(spec, policy=self._policy())
-            return self.estimation_scenario().run(
-                budget_seconds=self.budget(),
-                memory_bytes=config.memory_bytes,
-                policy=self._policy(),
-                progress=self.progress or (lambda event: None),
-                **self._store_kwargs(),
-            )
-
-        return self._cached("scenario_estimation", compute)
+    def estimation_scenario(self) -> EstimationErrorScenario:
+        """The estimation scenario bound to this session's System A."""
+        scenario = definition_for("estimation").scenario(self)
+        assert isinstance(scenario, EstimationErrorScenario)
+        return scenario
 
     def choice_maps(
         self, policies: Sequence[SelectionPolicy] | None = None
@@ -609,32 +322,34 @@ class BenchSession:
             # penalty weight) must not reuse another's map.
             return f"{policy.name}:{sorted(vars(policy).items())!r}"
 
-        missing = [
-            policy
-            for policy in policies
-            if cache_key(policy) not in self._choices
-        ]
-        if missing:
-            mapdata = self.estimation_map()
-            scenario = self.estimation_scenario()
-            model = self.system_a.cost_model(
-                memory_bytes=self.config.memory_bytes
-            )
-            for policy in missing:
-                chooser = PlanChooser(model, policy)
-
-                def choose(idx: tuple[int, ...]) -> str:
-                    return chooser.choose(
-                        scenario.candidate_plans(idx), scenario.estimates(idx)
-                    )
-
-                self._choices[cache_key(policy)] = build_choice_map(
-                    mapdata, policy.name, choose
+        with self._choices_lock:
+            missing = [
+                policy
+                for policy in policies
+                if cache_key(policy) not in self._choices
+            ]
+            if missing:
+                mapdata = self.estimation_map()
+                scenario = self.estimation_scenario()
+                model = self.system_a.cost_model(
+                    memory_bytes=self.config.memory_bytes
                 )
-        return {
-            policy.name: self._choices[cache_key(policy)]
-            for policy in policies
-        }
+                for policy in missing:
+                    chooser = PlanChooser(model, policy)
+
+                    def choose(idx: tuple[int, ...]) -> str:
+                        return chooser.choose(
+                            scenario.candidate_plans(idx),
+                            scenario.estimates(idx),
+                        )
+
+                    self._choices[cache_key(policy)] = build_choice_map(
+                        mapdata, policy.name, choose
+                    )
+            return {
+                policy.name: self._choices[cache_key(policy)]
+                for policy in policies
+            }
 
     #: CLI-facing scenario names -> bound map methods.
     SCENARIO_MAPS = {

@@ -1,0 +1,666 @@
+"""Declarative map requests: every bench map, addressable by value.
+
+Historically every map ``BenchSession`` could produce was a hand-written
+method (``single_predicate_map``, ``join_map``, ...) wrapping a
+copy-pasted compute closure: build the space, pick the provider factory,
+compute the budget, branch on serial vs. parallel, thread the cell
+store through.  That shape is fine for a CLI but hostile to a service —
+nothing short of a method call could *name* a map, so nothing could
+deduplicate, queue, or cache requests for one.
+
+This module replaces the closures with data:
+
+* :class:`BenchConfig` — the scale knobs of a session (moved here from
+  ``harness`` so the request layer sits below the session; ``harness``
+  re-exports it).
+* :class:`MapDefinition` — one registry entry per producible map: how to
+  build its scenario/spec/providers, its budget and memory yardsticks,
+  its jitter, its whole-map cache key, and its grid shape.
+* :data:`MAP_DEFINITIONS` — the registry.  The seven entries reproduce
+  the seven historical ``BenchSession`` compute closures bit-identically
+  (the two-predicate map's jittered and jitter-free variants are
+  distinct entries, exactly as they were distinct cache keys).
+* :class:`MapRequest` — a *serializable* request: a registry name plus
+  :class:`BenchConfig` knob overrides.  ``resolve`` turns it into a
+  concrete config, ``fingerprint`` into a stable content address (the
+  map service's job id and single-flight dedup key), ``to_dict`` /
+  ``from_dict`` into/out of plain JSON.
+* :func:`compute_map` — the one generic compute path (serial or
+  parallel, cell store, refinement policy, snapshots) that every
+  definition runs through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field, fields, replace
+from functools import partial
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from repro.core.mapdata import MapData
+from repro.core.parallel import ParallelSweep
+from repro.core.parameter_space import Space1D, Space2D
+from repro.core.runner import Jitter
+from repro.core.scenario import (
+    EstimationErrorScenario,
+    JoinScenario,
+    MemorySweepScenario,
+    OperatorBench,
+    Scenario,
+    ScenarioSpec,
+    SinglePredicateScenario,
+    SortSpillScenario,
+    TwoPredicateScenario,
+    operator_bench_factory,
+)
+from repro.errors import ExperimentError
+from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
+from repro.workloads import LineitemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, harness imports us
+    from repro.bench.harness import BenchSession
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scale parameters for one bench session."""
+
+    n_rows: int = field(default_factory=lambda: _env_int("REPRO_BENCH_ROWS", 1 << 17))
+    min_exp_1d: int = field(default_factory=lambda: _env_int("REPRO_BENCH_MIN_EXP", -16))
+    min_exp_2d: int = field(default_factory=lambda: _env_int("REPRO_BENCH_MIN_EXP_2D", -12))
+    seed: int = 42
+    pool_pages: int = 256
+    budget_scale: float = 50.0
+    """Cost budget = budget_scale x the table-scan cost (censors blowups)."""
+
+    memory_bytes: int = 4 << 20
+    """Workspace memory per plan (bounded, so large builds spill)."""
+
+    sort_rows: tuple = (2048, 4096, 8192, 16384, 24576, 32768)
+    """Input-size axis of the sort-spill scenario (rows)."""
+
+    sort_memory: tuple = (256 << 10, 512 << 10, 1 << 20, 2 << 20)
+    """Memory axis of the sort-spill scenario (bytes per cell)."""
+
+    sort_row_bytes: int = 128
+    """Row width assumed by the sort-spill scenario."""
+
+    memory_axis: tuple = (16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20)
+    """Per-cell workspace budgets of the memory-sweep scenario (bytes)."""
+
+    join_rows: tuple = (512, 1024, 2048, 4096, 8192)
+    """Both input-cardinality axes of the join scenario (square grid, so
+    the merge-join symmetry landmark is well defined)."""
+
+    join_memory_bytes: int = 64 << 10
+    """Workspace per join measurement (tight: large builds must spill)."""
+
+    join_row_bytes: int = 16
+    """Row width assumed by the join scenario."""
+
+    join_key_domain: int = 1 << 16
+    """Join key domain (controls match density and output sizes)."""
+
+    error_magnitudes: tuple = (0.0, 0.5, 1.0, 2.0, 3.0)
+    """Error axis of the estimation scenario (std dev of ln q per cell).
+    The top magnitude allows order-of-magnitude misestimates — the regime
+    where plan choice actually flips."""
+
+    error_bias: float = 0.0
+    """Systematic ln-q bias of the estimation error model."""
+
+    error_seed: int = 2009
+    """Seed of the estimation error model (fingerprinted, like all of
+    these knobs, so choice/regret caches can never mix error models)."""
+
+    refine: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_BENCH_REFINE", "")
+        not in ("", "0")
+    )
+    """Sweep adaptively (coarse-to-fine refinement) instead of densely."""
+
+    refine_max_cells: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_MAX_CELLS", 0)
+    )
+    """Refinement cell budget per sweep (0: refine until nothing is
+    interesting; the budget spends itself cliffs-first)."""
+
+    n_workers: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
+    )
+    """Sweep worker processes (0/1: serial, -1: all cores)."""
+
+    cache_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_BENCH_CACHE")
+    )
+
+    cell_cache_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_BENCH_CELL_CACHE")
+    )
+    """Directory of the content-addressed per-cell measurement store
+    (default: none).  Unlike ``cache_dir`` (whole-map, all-or-nothing),
+    the cell store survives grid-resolution changes, plan-subset sweeps,
+    and refinement reruns — only the overlapping cells hit."""
+
+    #: Knobs that cannot change any *individual* cell measurement: cache
+    #: locations, worker counts, the grid/axis layouts (cell coordinates
+    #: are part of each cell's key), and the cell policy.  Everything
+    #: else lands in :meth:`cell_store_context` — exclusion-based, so a
+    #: future knob defaults into the context (a false miss re-measures;
+    #: a false hit would corrupt maps silently).
+    _CELL_CONTEXT_EXCLUDED = frozenset(
+        {
+            "n_workers",
+            "cache_dir",
+            "cell_cache_dir",
+            "min_exp_1d",
+            "min_exp_2d",
+            "sort_rows",
+            "sort_memory",
+            "memory_axis",
+            "join_rows",
+            "error_magnitudes",
+            "refine",
+            "refine_max_cells",
+        }
+    )
+
+    def _knob_digest(self, excluded: frozenset) -> str:
+        payload = repr(
+            [
+                (f.name, getattr(self, f.name))
+                for f in fields(self)
+                if f.name not in excluded
+            ]
+        ).encode("utf-8")
+        return hashlib.blake2s(payload, digest_size=8).hexdigest()
+
+    def fingerprint(self) -> str:
+        """Digest over every result-shaping knob (not workers/caches).
+
+        Worker count and cache locations cannot change the measured map —
+        the parallel engine is bit-identical — so they stay out of the
+        fingerprint and do not invalidate caches.
+        """
+        return self._knob_digest(
+            frozenset({"n_workers", "cache_dir", "cell_cache_dir"})
+        )
+
+    def cell_store_context(self) -> str:
+        """The opaque context string folded into every cell-store key.
+
+        The :meth:`fingerprint` discipline minus grid-shape, plan-set,
+        and policy knobs: it covers what shapes the providers and
+        measurements *outside* the scenario specs (table rows and seed,
+        buffer-pool pages, budgets, ...), so overlapping grids,
+        plan-subset sweeps, and refinement reruns of the same session
+        configuration all hit.
+        """
+        return self._knob_digest(self._CELL_CONTEXT_EXCLUDED)
+
+    def cache_path(self, key: str) -> Path | None:
+        if not self.cache_dir:
+            return None
+        directory = Path(self.cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return (
+            directory
+            / f"{key}_rows{self.n_rows}_seed{self.seed}_{self.fingerprint()}.json"
+        )
+
+
+def _session_systems(config: BenchConfig) -> list[DatabaseSystem]:
+    """Build the three bench systems for a config (picklable factory)."""
+    return list(
+        build_three_systems(
+            SystemConfig(
+                lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
+                pool_pages=config.pool_pages,
+            )
+        ).values()
+    )
+
+
+def _session_system_a(config: BenchConfig) -> list[DatabaseSystem]:
+    """System A alone (the 1-D sweeps), as a picklable factory."""
+    from repro.systems.system_a import SystemA
+
+    return [
+        SystemA(
+            SystemConfig(
+                lineitem=LineitemConfig(n_rows=config.n_rows, seed=config.seed),
+                pool_pages=config.pool_pages,
+            )
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MapDefinition:
+    """Everything needed to produce one named map from a config.
+
+    The callables deliberately mirror the knobs the historical compute
+    closures varied: the serially-usable ``scenario`` (built against a
+    live session's providers), the picklable ``spec``/``factory`` pair
+    the parallel engine ships to workers, the budget/memory yardsticks,
+    and the jitter model.  :func:`compute_map` is the single execution
+    path over them.
+    """
+
+    name: str
+    """Registry/request name (``MapRequest.scenario``)."""
+
+    cache_key: str
+    """Whole-map disk-cache key (the historical spelling, so existing
+    cache files keep hitting)."""
+
+    description: str
+    """One line for the service's scenario listing."""
+
+    grid_shape: Callable[[BenchConfig], tuple[int, ...]]
+    scenario: Callable[["BenchSession"], Scenario]
+    spec: Callable[[BenchConfig], ScenarioSpec]
+    factory: Callable[[BenchConfig], Callable]
+    budget: Callable[["BenchSession"], float]
+    memory_bytes: Callable[[BenchConfig], int | None] = lambda config: None
+    jitter: Callable[[BenchConfig], Jitter | None] = lambda config: None
+
+    def n_cells(self, config: BenchConfig) -> int:
+        """Dense cell count of this map's grid under a config."""
+        return int(np.prod(self.grid_shape(config)))
+
+
+def _space_1d(config: BenchConfig) -> Space1D:
+    return Space1D.log2("selectivity", config.min_exp_1d, 0)
+
+
+def _space_2d_sel(config: BenchConfig) -> Space1D:
+    return Space1D.log2("selectivity", config.min_exp_2d, 0)
+
+
+def _space_2d(config: BenchConfig) -> Space2D:
+    return Space2D.log2("sel_a", "sel_b", config.min_exp_2d, 0)
+
+
+def _sort_scenario(config: BenchConfig) -> SortSpillScenario:
+    return SortSpillScenario(
+        OperatorBench(),
+        config.sort_rows,
+        config.sort_memory,
+        row_bytes=config.sort_row_bytes,
+        seed=config.seed,
+    )
+
+
+def _join_scenario(config: BenchConfig) -> JoinScenario:
+    return JoinScenario(
+        OperatorBench(),
+        config.join_rows,
+        config.join_rows,
+        row_bytes=config.join_row_bytes,
+        key_domain=config.join_key_domain,
+        seed=config.seed,
+    )
+
+
+def _estimation_scenario(session: "BenchSession") -> EstimationErrorScenario:
+    config = session.config
+    return EstimationErrorScenario(
+        [session.system_a],
+        _space_2d_sel(config),
+        magnitudes=config.error_magnitudes,
+        error_bias=config.error_bias,
+        error_seed=config.error_seed,
+    )
+
+
+def _two_predicate_jitter(config: BenchConfig) -> Jitter:
+    return Jitter(rel=0.01, abs=0.0005, seed=config.seed)
+
+
+def _sel_grid_2d(config: BenchConfig) -> int:
+    return 1 - config.min_exp_2d
+
+
+#: Request name -> definition.  The two-predicate map's jittered and
+#: jitter-free variants are distinct addressable entries (they were
+#: always distinct cache keys); ``single_predicate`` runs System A alone
+#: while ``two_predicate*`` runs all three systems.
+MAP_DEFINITIONS: dict[str, MapDefinition] = {
+    definition.name: definition
+    for definition in (
+        MapDefinition(
+            name="single_predicate",
+            cache_key="single_predicate",
+            description=(
+                "1-D selectivity sweep over System A's 7 single-"
+                "predicate plans (Figs 1-2)"
+            ),
+            grid_shape=lambda config: (1 - config.min_exp_1d,),
+            scenario=lambda session: SinglePredicateScenario(
+                [session.system_a], _space_1d(session.config)
+            ),
+            spec=lambda config: SinglePredicateScenario.build_spec(
+                _space_1d(config)
+            ),
+            factory=lambda config: partial(_session_system_a, config),
+            budget=lambda session: session.budget(),
+            memory_bytes=lambda config: config.memory_bytes,
+        ),
+        MapDefinition(
+            name="two_predicate",
+            cache_key="two_predicate",
+            description=(
+                "2-D selectivity sweep over all 15 plans of systems "
+                "A, B, C with deterministic jitter (Figs 4-10)"
+            ),
+            grid_shape=lambda config: (_sel_grid_2d(config),) * 2,
+            scenario=lambda session: TwoPredicateScenario(
+                list(session.systems.values()), _space_2d(session.config)
+            ),
+            spec=lambda config: TwoPredicateScenario.build_spec(
+                _space_2d(config).x, _space_2d(config).y
+            ),
+            factory=lambda config: partial(_session_systems, config),
+            budget=lambda session: session.budget(),
+            memory_bytes=lambda config: config.memory_bytes,
+            jitter=_two_predicate_jitter,
+        ),
+        MapDefinition(
+            name="two_predicate_nojitter",
+            cache_key="two_predicate_nojitter",
+            description=(
+                "the two-predicate sweep without measurement jitter "
+                "(exact cost surfaces)"
+            ),
+            grid_shape=lambda config: (_sel_grid_2d(config),) * 2,
+            scenario=lambda session: TwoPredicateScenario(
+                list(session.systems.values()), _space_2d(session.config)
+            ),
+            spec=lambda config: TwoPredicateScenario.build_spec(
+                _space_2d(config).x, _space_2d(config).y
+            ),
+            factory=lambda config: partial(_session_systems, config),
+            budget=lambda session: session.budget(),
+            memory_bytes=lambda config: config.memory_bytes,
+        ),
+        MapDefinition(
+            name="sort_spill",
+            cache_key="scenario_sort_spill",
+            description=(
+                "input rows x memory for the two sort spill policies (§4)"
+            ),
+            grid_shape=lambda config: (
+                len(config.sort_rows),
+                len(config.sort_memory),
+            ),
+            scenario=lambda session: _sort_scenario(session.config),
+            spec=lambda config: _sort_scenario(config).spec(),
+            factory=lambda config: operator_bench_factory,
+            # Budget yardstick intrinsic to the scenario (no systems
+            # needed): budget_scale x the largest fully-in-memory sort.
+            budget=lambda session: session.config.budget_scale
+            * _sort_scenario(session.config).baseline_seconds(),
+        ),
+        MapDefinition(
+            name="memory_sweep",
+            cache_key="scenario_memory_sweep",
+            description=(
+                "selectivity x per-cell memory budget over System A's plans"
+            ),
+            grid_shape=lambda config: (
+                _sel_grid_2d(config),
+                len(config.memory_axis),
+            ),
+            scenario=lambda session: MemorySweepScenario(
+                [session.system_a],
+                _space_2d_sel(session.config),
+                session.config.memory_axis,
+            ),
+            spec=lambda config: MemorySweepScenario.build_spec(
+                _space_2d_sel(config), config.memory_axis
+            ),
+            factory=lambda config: partial(_session_system_a, config),
+            budget=lambda session: session.budget(),
+            memory_bytes=lambda config: config.memory_bytes,
+        ),
+        MapDefinition(
+            name="join",
+            cache_key="scenario_join",
+            description=(
+                "build rows x probe rows over the four join plans "
+                "(Figs 4-5; merge symmetric, hash spill cliffs)"
+            ),
+            grid_shape=lambda config: (len(config.join_rows),) * 2,
+            scenario=lambda session: _join_scenario(session.config),
+            spec=lambda config: _join_scenario(config).spec(),
+            factory=lambda config: operator_bench_factory,
+            # budget_scale x the largest all-in-memory merge join.
+            budget=lambda session: session.config.budget_scale
+            * _join_scenario(session.config).baseline_seconds(),
+            memory_bytes=lambda config: config.join_memory_bytes,
+        ),
+        MapDefinition(
+            name="estimation",
+            cache_key="scenario_estimation",
+            description=(
+                "selectivity x estimation-error magnitude over System "
+                "A's plans (choice/regret substrate)"
+            ),
+            grid_shape=lambda config: (
+                _sel_grid_2d(config),
+                len(config.error_magnitudes),
+            ),
+            scenario=_estimation_scenario,
+            spec=lambda config: EstimationErrorScenario.build_spec(
+                _space_2d_sel(config),
+                config.error_magnitudes,
+                error_bias=config.error_bias,
+                error_seed=config.error_seed,
+            ),
+            factory=lambda config: partial(_session_system_a, config),
+            budget=lambda session: session.budget(),
+            memory_bytes=lambda config: config.memory_bytes,
+        ),
+    )
+}
+
+
+def available_requests() -> list[str]:
+    """Every registry name a :class:`MapRequest` may address."""
+    return sorted(MAP_DEFINITIONS)
+
+
+def definition_for(name: str) -> MapDefinition:
+    """Look up a registry entry; accepts the CLI's ``-``/``_`` spellings."""
+    try:
+        return MAP_DEFINITIONS[name.replace("-", "_")]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; available: {available_requests()}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# serializable requests
+# ---------------------------------------------------------------------------
+
+#: Session-infrastructure knobs a request must not override: where caches
+#: live and how many worker processes run are the *service operator's*
+#: decisions, never the remote caller's (and none of them shape results).
+BLOCKED_OVERRIDES = frozenset({"cache_dir", "cell_cache_dir", "n_workers"})
+
+
+def _coerce_override(name: str, value: object, current: object) -> object:
+    """Adapt a JSON-shaped override value to the config field it targets.
+
+    JSON has no tuples and only one number type, so lists coerce to
+    tuples where the field holds a tuple and integral floats coerce to
+    ints where the field holds an int.  Anything else passes through and
+    is caught by the fingerprint/replace machinery if nonsensical.
+    """
+    if isinstance(current, tuple) and isinstance(value, (list, tuple)):
+        return tuple(value)
+    if (
+        isinstance(current, int)
+        and not isinstance(current, bool)
+        and isinstance(value, float)
+        and value.is_integer()
+    ):
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class MapRequest:
+    """A serializable address for one map: registry name + knob overrides.
+
+    ``overrides`` are :class:`BenchConfig` field overrides, normalized to
+    a sorted tuple of pairs so requests hash and compare by value.  Two
+    requests that resolve to the same (scenario, config-fingerprint) are
+    the *same* request — same cache entry, same service job.
+    """
+
+    scenario: str
+    overrides: tuple = ()
+
+    def __post_init__(self) -> None:
+        definition_for(self.scenario)  # unknown names fail at build time
+        items = (
+            self.overrides.items()
+            if isinstance(self.overrides, Mapping)
+            else self.overrides
+        )
+        normalized = tuple(
+            sorted(
+                (str(k), tuple(v) if isinstance(v, list) else v)
+                for k, v in items
+            )
+        )
+        seen = [k for k, _v in normalized]
+        if len(set(seen)) != len(seen):
+            raise ExperimentError(f"duplicate override knobs: {seen}")
+        object.__setattr__(self, "overrides", normalized)
+
+    def resolve(self, base: BenchConfig) -> BenchConfig:
+        """The concrete config this request asks for, on top of ``base``.
+
+        Unknown or blocked knob names raise :class:`ExperimentError`
+        (the service maps that to a 400, not a 500).
+        """
+        known = {f.name: getattr(base, f.name) for f in fields(base)}
+        changes: dict = {}
+        for name, value in self.overrides:
+            if name in BLOCKED_OVERRIDES:
+                raise ExperimentError(
+                    f"knob {name!r} is operator-controlled and cannot be "
+                    "overridden by a request"
+                )
+            if name not in known:
+                raise ExperimentError(
+                    f"unknown config knob {name!r}; overridable: "
+                    f"{sorted(set(known) - BLOCKED_OVERRIDES)}"
+                )
+            changes[name] = _coerce_override(name, value, known[name])
+        return replace(base, **changes) if changes else base
+
+    def fingerprint(self, base: BenchConfig) -> str:
+        """Stable content address of (scenario, resolved config).
+
+        This is the map service's job id and single-flight dedup key:
+        concurrent requests with equal fingerprints share one
+        computation, and differently-spelled overrides that resolve to
+        the same config collapse to the same address.
+        """
+        payload = repr(
+            (self.scenario, self.resolve(base).fingerprint())
+        ).encode("utf-8")
+        digest = hashlib.blake2s(payload, digest_size=8).hexdigest()
+        return f"{self.scenario}-{digest}"
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "overrides": {
+                name: list(value) if isinstance(value, tuple) else value
+                for name, value in self.overrides
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MapRequest":
+        """Parse a request from JSON-shaped data, loudly.
+
+        Unknown top-level keys raise — a typoed ``"overides"`` must not
+        silently compute the default map.
+        """
+        if not isinstance(data, Mapping):
+            raise ExperimentError(
+                f"map request must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"scenario", "overrides"}
+        if unknown:
+            raise ExperimentError(
+                f"unknown request keys {sorted(unknown)}; "
+                "expected 'scenario' and optional 'overrides'"
+            )
+        if "scenario" not in data:
+            raise ExperimentError("map request needs a 'scenario' name")
+        overrides = data.get("overrides") or {}
+        if not isinstance(overrides, Mapping):
+            raise ExperimentError(
+                "request 'overrides' must be an object of knob: value"
+            )
+        return cls(scenario=str(data["scenario"]), overrides=dict(overrides))
+
+
+# ---------------------------------------------------------------------------
+# the one compute path
+# ---------------------------------------------------------------------------
+
+
+def compute_map(session: "BenchSession", definition: MapDefinition) -> MapData:
+    """Run one definition's sweep under a session's configuration.
+
+    The single execution path behind every registry entry: picks serial
+    vs. parallel from the config, threads the refinement policy, the
+    content-addressed cell store, progress, and partial-map snapshots
+    through either engine.  Outputs are bit-identical to the historical
+    per-map closures (locked by the golden/figure tests).
+    """
+    config = session.config
+    budget = definition.budget(session)
+    if session._wants_parallel():
+        engine = ParallelSweep(
+            definition.factory(config),
+            budget_seconds=budget,
+            memory_bytes=definition.memory_bytes(config),
+            jitter=definition.jitter(config),
+            n_workers=config.n_workers,
+            progress=session.progress,
+            snapshot_every=session.snapshot_every,
+            **session._store_kwargs(),
+        )
+        return engine.sweep(definition.spec(config), policy=session._policy())
+    return definition.scenario(session).run(
+        budget_seconds=budget,
+        memory_bytes=definition.memory_bytes(config),
+        jitter=definition.jitter(config),
+        policy=session._policy(),
+        progress=session.progress or (lambda event: None),
+        snapshot_every=session.snapshot_every,
+        **session._store_kwargs(),
+    )

@@ -325,6 +325,12 @@ class SweepDriver:
     ``wave_hits`` (optional) reports how many cells of the wave the
     backend answered from the content-addressed cell store (None: no
     store configured); round events carry it as ``cache_hits``.
+
+    With ``snapshots=True``, every round event additionally carries the
+    merged-so-far partial :class:`MapData` as ``event.snapshot`` — under
+    a multi-round policy this is the cumulative coverage across waves,
+    complementing the per-cell/per-chunk snapshots the backends attach
+    within a wave.
     """
 
     def __init__(
@@ -335,6 +341,7 @@ class SweepDriver:
         scenario: str = "?",
         progress: Callable[[ProgressEvent], None] | None = None,
         wave_hits: Callable[[], int | None] | None = None,
+        snapshots: bool = False,
     ) -> None:
         self.measure = measure
         self.shape = tuple(int(n) for n in shape)
@@ -342,6 +349,7 @@ class SweepDriver:
         self.scenario = scenario
         self.progress = progress or (lambda event: None)
         self.wave_hits = wave_hits or (lambda: None)
+        self.snapshots = snapshots
 
     def run(self) -> MapData:
         state = SweepState(shape=self.shape)
@@ -368,6 +376,7 @@ class SweepDriver:
                         round_index=state.round_index,
                         wave_cells=len(wave),
                         cache_hits=self.wave_hits(),
+                        snapshot=state.mapdata if self.snapshots else None,
                     )
                 )
         if state.mapdata is None:

@@ -207,10 +207,13 @@ class ParallelSweep:
         progress: Callable[[ProgressEvent], None] | None = None,
         cell_store: CellStore | None = None,
         store_context: str = "",
+        snapshot_every: int | None = None,
     ) -> None:
         self.factory = factory
         # Workers never receive the store (the parent owns all reads and
-        # writes), so these kwargs deliberately exclude it.
+        # writes), so these kwargs deliberately exclude it.  Snapshots
+        # stay out too: workers see chunk-local coverage only, so the
+        # parent attaches merged snapshots at chunk granularity instead.
         self.sweep_kwargs = {
             "budget_seconds": budget_seconds,
             "memory_bytes": memory_bytes,
@@ -222,6 +225,7 @@ class ParallelSweep:
         self.progress = progress or (lambda event: None)
         self.cell_store = cell_store
         self.store_context = store_context
+        self.snapshot_every = snapshot_every
         self._serial: RobustnessSweep | None = None
         self._last_wave_hits: int | None = None
 
@@ -239,6 +243,7 @@ class ParallelSweep:
                 progress=self.progress,
                 cell_store=self.cell_store,
                 store_context=self.store_context,
+                snapshot_every=self.snapshot_every,
                 **self.sweep_kwargs,
             )
         return self._serial
@@ -325,6 +330,7 @@ class ParallelSweep:
                 scenario=spec.name,
                 progress=self.progress,
                 wave_hits=lambda: self._last_wave_hits,
+                snapshots=self.snapshot_every is not None,
             )
             return driver.run()
         finally:
@@ -379,6 +385,9 @@ class ParallelSweep:
         cache_hits = len(hits) if store_ctx is not None else None
 
         def emit() -> None:
+            # Snapshots merge the parts finished so far — chunk
+            # completion is the natural snapshot cadence here (the
+            # per-cell stride lives in the serial loop).
             self.progress(
                 ProgressEvent(
                     scenario=spec.name,
@@ -389,6 +398,11 @@ class ParallelSweep:
                     parts_done=len(parts),
                     parts_total=parts_total,
                     cache_hits=cache_hits,
+                    snapshot=(
+                        SweepDriver._combined(parts)
+                        if self.snapshot_every is not None and parts
+                        else None
+                    ),
                 )
             )
 

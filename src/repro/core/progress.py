@@ -15,7 +15,11 @@ working unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.mapdata import MapData
 
 
 @dataclass(frozen=True)
@@ -33,6 +37,15 @@ class ProgressEvent:
     cell/chunk events, the wave for round events) that were answered by
     the content-addressed cell store instead of being measured; ``None``
     means no store was configured, so existing streams are unchanged.
+
+    ``snapshot``, when present, is a *partial* :class:`MapData` holding
+    every cell measured so far (``meta["cells"]`` coverage; see
+    :attr:`MapData.measured_mask`).  Engines attach snapshots only when
+    explicitly asked to (``snapshot_every``) — the default streams stay
+    lightweight and :meth:`render` never mentions them.  Measured values
+    in a snapshot are bit-identical to the finished map's; consumers such
+    as the map service serialize it to answer partial-map polls while the
+    sweep is still running.
     """
 
     scenario: str
@@ -46,6 +59,7 @@ class ProgressEvent:
     round_index: int | None = None
     wave_cells: int | None = None
     cache_hits: int | None = None
+    snapshot: "MapData | None" = field(default=None, repr=False, compare=False)
 
     @property
     def eta(self) -> float | None:

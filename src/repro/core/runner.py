@@ -97,6 +97,12 @@ class RobustnessSweep:
     ``store_context`` is the opaque caller string folded into every key —
     it must cover whatever shapes the providers outside the scenario spec
     (table rows/seed, buffer-pool pages, ...).
+
+    ``snapshot_every`` (default off) attaches a partial-map snapshot to
+    every ``snapshot_every``-th progress event: a :class:`MapData` copy
+    carrying exactly the cells measured so far (``meta["cells"]``), so a
+    live consumer — the map service's partial-map polls — can render the
+    sparse map mid-sweep.  Snapshots never change what gets measured.
     """
 
     def __init__(
@@ -109,6 +115,7 @@ class RobustnessSweep:
         progress: Callable[[ProgressEvent], None] | None = None,
         cell_store: CellStore | None = None,
         store_context: str = "",
+        snapshot_every: int | None = None,
     ) -> None:
         self.systems = list(systems)
         if not self.systems:
@@ -120,6 +127,11 @@ class RobustnessSweep:
         self.progress = progress or (lambda event: None)
         self.cell_store = cell_store
         self.store_context = store_context
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ExperimentError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.snapshot_every = snapshot_every
         self._last_wave_hits: int | None = None
 
     # ------------------------------------------------------------------
@@ -228,6 +240,7 @@ class RobustnessSweep:
             scenario=scenario.name,
             progress=self.progress,
             wave_hits=lambda: self._last_wave_hits,
+            snapshots=self.snapshot_every is not None,
         )
         return driver.run()
 
@@ -290,6 +303,24 @@ class RobustnessSweep:
         times = np.full((len(plan_ids), *shape), np.nan)
         aborted = np.zeros((len(plan_ids), *shape), dtype=bool)
         rows = np.zeros(shape, dtype=np.int64)
+        map_axes = [
+            MapAxis(axis.name, axis.targets, scenario.achieved(i))
+            for i, axis in enumerate(axes)
+        ]
+        covered: list[int] = []
+
+        def snapshot() -> MapData | None:
+            """Partial-map copy of everything measured so far (or None)."""
+            if self.snapshot_every is None:
+                return None
+            return MapData(
+                plan_ids=list(plan_ids),
+                times=times.copy(),
+                aborted=aborted.copy(),
+                rows=rows.copy(),
+                meta={"scenario": scenario.name, "cells": sorted(covered)},
+                axes=list(map_axes),
+            )
 
         start = time.monotonic()
         keyer: SweepKeyer | None = None
@@ -306,6 +337,7 @@ class RobustnessSweep:
         for flat, records in hits.items():
             idx = tuple(int(k) for k in np.unravel_index(flat, shape))
             self._fill_stored(records, plan_ids, times, aborted, rows, idx)
+        covered.extend(int(flat) for flat in hits)
         misses = [flat for flat in cell_list if flat not in hits]
         if hits:
             self.progress(
@@ -317,6 +349,7 @@ class RobustnessSweep:
                     kind="cell",
                     detail=f"{len(hits)} cells from cell store",
                     cache_hits=len(hits),
+                    snapshot=snapshot(),
                 )
             )
 
@@ -354,6 +387,10 @@ class RobustnessSweep:
                 plans_by_runner.append((runner, plans))
             runs = self._measure_cell(plans_by_runner, idx, cell.expected_rows)
             self._record(runs, plan_ids, times, aborted, idx)
+            covered.append(int(flat))
+            wants_snapshot = self.snapshot_every is not None and (
+                (done + 1) % self.snapshot_every == 0 or done + 1 == len(misses)
+            )
             self.progress(
                 ProgressEvent(
                     scenario=scenario.name,
@@ -363,6 +400,7 @@ class RobustnessSweep:
                     kind="cell",
                     detail=cell.describe,
                     cache_hits=len(hits) if track_hits else None,
+                    snapshot=snapshot() if wants_snapshot else None,
                 )
             )
 
@@ -388,10 +426,6 @@ class RobustnessSweep:
         meta["scenario"] = scenario.name
         if cells is not None:
             meta["cells"] = cell_list
-        map_axes = [
-            MapAxis(axis.name, axis.targets, scenario.achieved(i))
-            for i, axis in enumerate(axes)
-        ]
         return MapData(
             plan_ids=plan_ids,
             times=times,

@@ -1,0 +1,12 @@
+"""Robustness-map service: jobs over the bench request registry.
+
+:mod:`repro.service.jobs` runs serializable :class:`MapRequest`\\ s on a
+bounded worker pool with single-flight dedup, per-request cell budgets,
+and partial-map progress; :mod:`repro.service.http` fronts it with a
+stdlib-only HTTP API (``python -m repro.bench.cli serve``).
+"""
+
+from repro.service.jobs import Job, JobManager, RejectedRequest
+from repro.service.http import build_server, serve
+
+__all__ = ["Job", "JobManager", "RejectedRequest", "build_server", "serve"]

@@ -24,6 +24,7 @@ from repro.viz.svg import (
 )
 from repro.viz.png import encode_png, save_png, decode_png_size, rasterize_grid
 from repro.viz.legend import legend_svg, legend_pixels
+from repro.viz.render import MEDIA_TYPES, render_map
 from repro.viz.figures import (
     absolute_curves,
     relative_curves,
@@ -71,4 +72,6 @@ __all__ = [
     "regret_heatmap",
     "regret_png",
     "save_heatmap_png",
+    "MEDIA_TYPES",
+    "render_map",
 ]

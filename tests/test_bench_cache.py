@@ -389,6 +389,45 @@ def test_cli_unknown_scenario_lists_available(tmp_path, capsys):
         assert name in err
 
 
+def test_cli_cell_cache_compact(tmp_path, capsys, monkeypatch):
+    from repro.bench import cli
+
+    store_dir = tmp_path / "cells"
+    # cli.main exports --cell-cache into REPRO_BENCH_CELL_CACHE; register the
+    # variable with monkeypatch so teardown restores the pre-test environment.
+    monkeypatch.setenv("REPRO_BENCH_CELL_CACHE", str(store_dir))
+    config = tiny_config(
+        tmp_path,
+        cache_dir=None,
+        cell_cache_dir=str(store_dir),
+        join_rows=(64, 128),
+        join_key_domain=256,
+    )
+    # Two sessions over one store: the rerun writes nothing new, so the
+    # shards hold exactly one generation of entries to keep.
+    BenchSession(config).join_map()
+    BenchSession(config).join_map()
+    code = cli.main(
+        ["out", "--cell-cache", str(store_dir), "--cell-cache-compact"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "reclaimed" in out and "kept" in out
+    # Still a loadable, warm store afterwards.
+    again = BenchSession(config)
+    mapdata = again.join_map()
+    assert again.cell_store().stats()["cell_misses"] == 0
+    assert mapdata.grid_shape == (2, 2)
+
+
+def test_cli_cell_cache_compact_requires_directory(tmp_path, monkeypatch):
+    from repro.bench import cli
+
+    monkeypatch.delenv("REPRO_BENCH_CELL_CACHE", raising=False)
+    with pytest.raises(SystemExit):
+        cli.main([str(tmp_path), "--cell-cache-compact"])
+
+
 def test_choice_maps_bit_identical_serial_vs_parallel(tmp_path):
     """The acceptance contract: choice/regret maps do not depend on the
     sweep path (serial vs worker processes) or on cache reuse."""

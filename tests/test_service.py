@@ -1,0 +1,396 @@
+"""The map service: job manager, single-flight dedup, HTTP front-end."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchConfig, BenchSession
+from repro.bench.requests import MapRequest
+from repro.core.mapdata import MapData
+from repro.core.progress import ProgressEvent
+from repro.errors import ExperimentError
+from repro.service import JobManager, RejectedRequest, build_server
+
+
+def tiny_config(tmp_path=None, **overrides):
+    defaults = dict(
+        n_rows=512,
+        min_exp_1d=-3,
+        min_exp_2d=-2,
+        pool_pages=32,
+        join_rows=(64, 128),
+        join_key_domain=256,
+    )
+    if tmp_path is not None:
+        defaults["cache_dir"] = str(tmp_path)
+    defaults.update(overrides)
+    return BenchConfig(**defaults)
+
+
+JOIN = MapRequest("join")
+
+
+def make_manager(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("queue_limit", 4)
+    return JobManager(tiny_config(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# job manager
+# ---------------------------------------------------------------------------
+
+
+def test_job_runs_and_matches_direct_session():
+    manager = make_manager()
+    try:
+        job, created = manager.submit(JOIN)
+        assert created and job.job_id == JOIN.fingerprint(manager.config)
+        finished = manager.wait(job.job_id, timeout=120)
+        assert finished.state == "done"
+        direct = BenchSession(tiny_config()).join_map()
+        assert np.array_equal(
+            finished.result.times, direct.times, equal_nan=True
+        )
+        assert finished.result.meta == direct.meta
+        status = manager.status(job)
+        assert status["state"] == "done"
+        assert status["done"] == status["total"] == 4
+        assert status["coverage"] == 1.0
+    finally:
+        manager.close()
+
+
+def test_concurrent_identical_requests_share_one_sweep(monkeypatch):
+    """The tentpole contract: same fingerprint -> one computation."""
+    import repro.bench.harness as harness_module
+
+    calls = []
+    entered = threading.Event()
+    release = threading.Event()
+    real = harness_module.compute_map
+
+    def slow_compute(session, definition):
+        calls.append(definition.name)
+        entered.set()
+        assert release.wait(10)
+        return real(session, definition)
+
+    monkeypatch.setattr(harness_module, "compute_map", slow_compute)
+    manager = make_manager()
+    try:
+        first, created_first = manager.submit(JOIN)
+        assert created_first
+        assert entered.wait(10)  # the job is mid-computation...
+        second, created_second = manager.submit(JOIN)  # ...when we dedup
+        assert not created_second
+        assert second is first  # same job id, same Job object
+        release.set()
+        finished = manager.wait(first.job_id, timeout=120)
+        assert finished.state == "done"
+        assert calls == ["join"]  # exactly one sweep ran
+        # Both submitters read byte-identical results: it IS one result.
+        assert manager.get(first.job_id).result is finished.result
+    finally:
+        release.set()
+        manager.close()
+
+
+def test_full_queue_rejects_loudly(monkeypatch):
+    import repro.bench.harness as harness_module
+
+    release = threading.Event()
+    full = BenchSession(tiny_config()).join_map()  # before the patch
+
+    def stuck_compute(session, definition):
+        assert release.wait(10)
+        return full
+
+    monkeypatch.setattr(harness_module, "compute_map", stuck_compute)
+    manager = JobManager(tiny_config(), workers=1, queue_limit=1)
+    try:
+        manager.submit(MapRequest("join"))  # occupies the worker
+        time.sleep(0.1)
+        manager.submit(MapRequest("join", {"seed": 1}))  # fills the queue
+        with pytest.raises(RejectedRequest, match="queue is full"):
+            manager.submit(MapRequest("join", {"seed": 2}))
+        # Duplicate submissions still dedup even while the queue is full.
+        job, created = manager.submit(MapRequest("join", {"seed": 1}))
+        assert not created
+    finally:
+        release.set()
+        manager.close()
+
+
+def test_cell_budget_rejects_oversized_requests():
+    manager = make_manager(cell_budget=4)
+    try:
+        manager.submit(JOIN)  # 2x2 fits
+        with pytest.raises(RejectedRequest, match="over the service"):
+            manager.submit(MapRequest("join", {"join_rows": (64, 96, 128)}))
+        # A refinement budget caps the measurement, so the request fits.
+        capped = MapRequest(
+            "join",
+            {"join_rows": (64, 96, 128), "refine": True, "refine_max_cells": 3},
+        )
+        job, created = manager.submit(capped)
+        assert created and job.total == 3
+    finally:
+        manager.close()
+
+
+def test_malformed_requests_fail_before_enqueue():
+    manager = make_manager()
+    try:
+        with pytest.raises(ExperimentError, match="unknown config knob"):
+            manager.submit(MapRequest("join", {"nope": 1}))
+        assert manager.stats()["jobs"] == 0
+    finally:
+        manager.close()
+
+
+def test_partial_snapshots_flow_to_partial_map(monkeypatch):
+    """Mid-flight, partial_map serves the sweep's latest snapshot."""
+    import repro.bench.harness as harness_module
+
+    full = BenchSession(tiny_config()).join_map()
+    partial_dict = full.to_dict()
+    partial_dict["meta"] = dict(partial_dict["meta"], cells=[0, 2])
+    snapshot = MapData.from_dict(partial_dict)
+    emitted = threading.Event()
+    release = threading.Event()
+
+    def snapshotting_compute(session, definition):
+        session.progress(
+            ProgressEvent(
+                scenario="join",
+                done=2,
+                total=4,
+                elapsed=0.1,
+                snapshot=snapshot,
+            )
+        )
+        emitted.set()
+        assert release.wait(10)
+        return full
+
+    monkeypatch.setattr(harness_module, "compute_map", snapshotting_compute)
+    manager = make_manager(workers=1)
+    try:
+        job, _ = manager.submit(JOIN)
+        assert emitted.wait(10)
+        mid, partial = manager.partial_map(job)
+        assert partial and mid is snapshot
+        assert mid.filled_cells.tolist() == [0, 2]
+        status = manager.status(job)
+        assert status["state"] == "running"
+        assert status["measured_cells"] == 2
+        assert status["done"] == 2 and status["total"] == 4
+        release.set()
+        manager.wait(job.job_id, timeout=30)
+        final, partial = manager.partial_map(job)
+        assert not partial and final is full
+    finally:
+        release.set()
+        manager.close()
+
+
+def test_serial_snapshots_are_strict_submasks_of_final_map():
+    """Every streamed snapshot: a subset of cells, bit-equal values."""
+    snapshots = []
+
+    def progress(event):
+        if event.snapshot is not None:
+            snapshots.append(event.snapshot)
+
+    session = BenchSession(tiny_config(), progress=progress, snapshot_every=1)
+    final = session.join_map()
+    total = final.times[0].size
+    assert snapshots, "snapshot_every=1 must stream snapshots"
+    sizes = [int(snap.measured_mask.sum()) for snap in snapshots]
+    assert sizes == sorted(sizes)  # monotone coverage
+    assert any(0 < size < total for size in sizes)  # strict submask seen
+    assert sizes[-1] == total
+    for snap in snapshots:
+        assert snap.is_partial or int(snap.measured_mask.sum()) == total
+        assert snap.plan_ids == final.plan_ids
+        mask = snap.measured_mask
+        for k in range(len(final.plan_ids)):
+            assert np.array_equal(
+                snap.times[k][mask], final.times[k][mask], equal_nan=True
+            )
+            assert np.array_equal(snap.aborted[k][mask], final.aborted[k][mask])
+
+
+def test_whole_map_cache_hit_is_flagged(tmp_path):
+    config = tiny_config(tmp_path)
+    cold = JobManager(config, workers=1, queue_limit=2)
+    try:
+        job, _ = cold.submit(JOIN)
+        assert cold.wait(job.job_id, timeout=120).cache_hit is False
+    finally:
+        cold.close()
+    warm = JobManager(config, workers=1, queue_limit=2)
+    try:
+        job, created = warm.submit(JOIN)
+        assert created  # fresh manager, fresh books...
+        finished = warm.wait(job.job_id, timeout=30)
+        assert finished.state == "done"
+        assert finished.cache_hit is True  # ...but the disk had the map
+        assert finished.events == 0
+    finally:
+        warm.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service():
+    manager = make_manager()
+    server = build_server(manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", manager
+    server.shutdown()
+    server.server_close()
+    manager.close()
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def test_http_submit_poll_result_render(service):
+    base, manager = service
+    code, listing = _get(base, "/scenarios")
+    assert code == 200
+    assert {entry["name"] for entry in listing["scenarios"]} >= {
+        "join",
+        "estimation",
+    }
+    assert "n_rows" in listing["knobs"] and "cache_dir" not in listing["knobs"]
+
+    code, submitted = _post(base, "/maps", {"scenario": "join"})
+    assert code == 202 and submitted["created"]
+    job_id = submitted["job_id"]
+
+    # Identical submission -> 202, same job id, created: false.
+    code, duplicate = _post(base, "/maps", {"scenario": "join"})
+    assert code == 202
+    assert duplicate["job_id"] == job_id and not duplicate["created"]
+
+    code, status = _get(base, f"/jobs/{job_id}?wait=120")
+    assert code == 200 and status["state"] == "done"
+    assert status["done"] == status["total"] == 4
+
+    code, result = _get(base, f"/jobs/{job_id}/result")
+    assert code == 200 and result["partial"] is False
+    direct = BenchSession(tiny_config()).join_map()
+    # The served JSON is byte-identical to a direct session's map.
+    assert json.dumps(result["map"], sort_keys=True) == json.dumps(
+        direct.to_dict(), sort_keys=True
+    )
+
+    code, partial = _get(base, f"/jobs/{job_id}/partial")
+    assert code == 200 and partial["partial"] is False
+
+    svg = urllib.request.urlopen(base + f"/jobs/{job_id}/render/join.merge.svg")
+    assert svg.headers["Content-Type"] == "image/svg+xml"
+    assert svg.read().lstrip().startswith(b"<svg")
+    png = urllib.request.urlopen(base + f"/jobs/{job_id}/render/join.merge.png")
+    assert png.headers["Content-Type"] == "image/png"
+    assert png.read()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+def test_http_error_statuses(service):
+    base, manager = service
+
+    def status_of(method, path, payload=None):
+        try:
+            if payload is None:
+                urllib.request.urlopen(base + path)
+            else:
+                _post(base, path, payload)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())["error"]
+        return 200, ""
+
+    assert status_of("POST", "/maps", {"scenario": "bogus"})[0] == 400
+    assert status_of("POST", "/maps", {"scenario": "join", "overides": {}})[0] == 400
+    code, message = status_of(
+        "POST", "/maps", {"scenario": "join", "overrides": {"cache_dir": "x"}}
+    )
+    assert code == 400 and "operator-controlled" in message
+    assert status_of("GET", "/jobs/nope")[0] == 404
+    assert status_of("GET", "/nope")[0] == 404
+
+    # A queued-but-unfinished job answers 409 on /result.
+    code, submitted = _post(
+        base, "/maps", {"scenario": "join", "overrides": {"seed": 99}}
+    )
+    job_id = submitted["job_id"]
+    codes = {status_of("GET", f"/jobs/{job_id}/result")[0]}
+    assert codes <= {200, 409}
+    manager.wait(job_id, timeout=120)
+    assert status_of("GET", f"/jobs/{job_id}/render/not-a-plan.svg")[0] == 404
+    assert status_of("GET", f"/jobs/{job_id}/render/join.merge.webp")[0] == 400
+
+
+def test_http_rejections_are_429(monkeypatch):
+    import repro.bench.harness as harness_module
+
+    release = threading.Event()
+    full = BenchSession(tiny_config()).join_map()  # before the patch
+
+    def stuck_compute(session, definition):
+        assert release.wait(10)
+        return full
+
+    monkeypatch.setattr(harness_module, "compute_map", stuck_compute)
+    manager = JobManager(
+        tiny_config(), workers=1, queue_limit=1, cell_budget=4
+    )
+    server = build_server(manager)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        _post(base, "/maps", {"scenario": "join"})
+        time.sleep(0.1)
+        _post(base, "/maps", {"scenario": "join", "overrides": {"seed": 1}})
+        with pytest.raises(urllib.error.HTTPError) as full:
+            _post(base, "/maps", {"scenario": "join", "overrides": {"seed": 2}})
+        assert full.value.code == 429
+        with pytest.raises(urllib.error.HTTPError) as over:
+            _post(
+                base,
+                "/maps",
+                {"scenario": "join", "overrides": {"join_rows": [64, 96, 128]}},
+            )
+        assert over.value.code == 429
+    finally:
+        release.set()
+        server.shutdown()
+        server.server_close()
+        manager.close()
