@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.executor import batching
 from repro.executor.context import ExecContext
 
 _HASH_ENTRY_BYTES = 48  # key, aggregate state, bucket overhead
@@ -61,9 +62,17 @@ class HashAggregate:
             ctx.temp.write_run(rows_per_partition, self.row_bytes)
             for _ in range(n_partitions)
         ]
-        for run in runs:
-            ctx.temp.read_run_fully(run)
+        if batching.batched_enabled():
+            # The partition re-read schedule is deterministic, so it is
+            # charged in one vectorized step; the per-partition budget
+            # checks compact to one final check (equivalent under the
+            # budget-censoring contract).
+            ctx.temp.reread_runs(runs)
             ctx.check_budget()
+        else:
+            for run in runs:
+                ctx.temp.read_run_fully(run)
+                ctx.check_budget()
         # Second hashing pass over every row during partition aggregation.
         ctx.charge(n_rows, ctx.profile.cpu_hash)
 

@@ -107,11 +107,27 @@ class FetchStrategy:
         The budget is checked once per :data:`_NAIVE_CHUNK` pages in both
         modes, so even censored (budget-aborted) measurements abort at
         the same point regardless of mode.
+
+        Batched mode resolves the whole trace through the vectorized LRU
+        kernel up front (:meth:`BufferPool.plan_many`), then charges the
+        miss chain through one strided pass
+        (:meth:`BufferPool.charge_planned_reads_strided`) with the budget
+        check as its per-chunk checkpoint — the clock and disk statistics
+        at every check are bitwise those of the scalar loop, so censored
+        runs abort identically.  Pinned pages fall back to chunked
+        :meth:`BufferPool.get_many` (which replays them scalar).
         """
         pages = table.pages_of_rids(rids)
         handle = table.clustered.handle
         pool = ctx.pool
         if batching.batched_enabled():
+            planned = pool.plan_many(handle, pages)
+            if planned is not None:
+                pool.charge_planned_reads_strided(
+                    handle, planned, _NAIVE_CHUNK, ctx.check_budget
+                )
+                pool.commit_many(planned)
+                return
             for start in range(0, pages.size, _NAIVE_CHUNK):
                 pool.get_many(handle, pages[start : start + _NAIVE_CHUNK])
                 ctx.check_budget()

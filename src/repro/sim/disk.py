@@ -77,6 +77,27 @@ class _HeadPosition:
         self.page_no = last_page
 
 
+@dataclass
+class PlannedPageReads:
+    """A chain of single-page reads, costed but not yet charged.
+
+    Produced by :meth:`Disk.plan_page_reads`: per-read elapsed times and
+    positioning categories for the loop ``for p in pages:
+    disk.read_page(handle, p)``, assuming nothing else moves the head in
+    between.  Callers feed ``elapsed`` into their own (possibly
+    interleaved) :meth:`SimClock.advance_many` schedule, then commit the
+    reads' statistics in order with :meth:`Disk.commit_page_reads` —
+    split so CPU charges can land *between* two reads while the disk
+    math stays vectorized (see :meth:`BPlusTree.probe_many`).
+    """
+
+    page_nos: np.ndarray
+    elapsed: np.ndarray
+    sequential: np.ndarray
+    settled: np.ndarray
+    random: np.ndarray
+
+
 class Disk:
     """Single simulated spindle shared by all storage objects.
 
@@ -221,6 +242,76 @@ class Disk:
         stats.random_reads += n_random
         stats.seeks += n_random
         head.after(last_handle, int(s[-1] + c[-1] - 1))
+
+    def plan_page_reads(
+        self, handle: FileHandle, page_nos: np.ndarray
+    ) -> PlannedPageReads:
+        """Cost a chain of :meth:`read_page` calls without charging it.
+
+        Positioning for each read is derived from where the previous read
+        leaves the head (the first from the live head position), exactly
+        as :meth:`read_runs` does; per-read elapsed times are the same
+        ``positioning + 1 * transfer`` sums the loop computes.  Nothing
+        is charged and no state moves — callers advance the clock
+        themselves and then apply the statistics with
+        :meth:`commit_page_reads`.  The plan is only valid while nothing
+        else moves the head.
+        """
+        p = np.asarray(page_nos, dtype=np.int64)
+        if np.any(p < 0):
+            raise StorageError("plan_page_reads needs non-negative pages")
+        n = int(p.size)
+        if n == 0:
+            empty = np.zeros(0, dtype=bool)
+            return PlannedPageReads(p, np.zeros(0), empty, empty, empty)
+        profile = self._profile
+        head = self._head
+        prev_file = np.concatenate(
+            ([head.file_id], np.full(n - 1, handle.file_id, dtype=np.int64))
+        )
+        prev_end = np.concatenate(([head.page_no], p[:-1]))
+        same_file = prev_file == handle.file_id
+        sequential = same_file & (prev_end == p - 1)
+        forward = same_file & (prev_end < p) & (p - prev_end <= SHORT_SEEK_GAP_PAGES)
+        settled = forward & ~sequential
+        random = ~(sequential | settled)
+        positioning = np.where(
+            sequential,
+            0.0,
+            np.where(settled, profile.settle_time, profile.seek_time),
+        )
+        elapsed = positioning + 1 * profile.page_transfer_time
+        return PlannedPageReads(p, elapsed, sequential, settled, random)
+
+    def commit_page_reads(
+        self, handle: FileHandle, planned: PlannedPageReads, start: int, stop: int
+    ) -> None:
+        """Apply reads ``[start, stop)`` of a plan to stats and the head.
+
+        The clock is *not* advanced — the caller already folded the
+        plan's ``elapsed`` into its own advance schedule.  ``read_time``
+        replays the loop's exact left-to-right float accumulation, and
+        committing a plan in consecutive slices accumulates identically
+        to committing it whole (chunked accumulation re-seeds with the
+        running value).
+        """
+        if stop <= start:
+            return
+        stats = self.stats
+        stats.pages_read += stop - start
+        stats.read_time = float(
+            np.add.accumulate(
+                np.concatenate(((stats.read_time,), planned.elapsed[start:stop]))
+            )[-1]
+        )
+        stats.sequential_reads += int(
+            np.count_nonzero(planned.sequential[start:stop])
+        )
+        stats.settled_reads += int(np.count_nonzero(planned.settled[start:stop]))
+        n_random = int(np.count_nonzero(planned.random[start:stop]))
+        stats.random_reads += n_random
+        stats.seeks += n_random
+        self._head.after(handle, int(planned.page_nos[stop - 1]))
 
     def read_scattered(
         self, handle: FileHandle, page_nos, coalesce: bool = False

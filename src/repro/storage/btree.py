@@ -405,26 +405,30 @@ class BPlusTree:
     ) -> np.ndarray:
         """Probe every key in sequence; returns per-key match counts.
 
-        Charging is bit-identical to ``for k in keys: tree.probe(k)``:
-        probes are replayed one at a time (their pool misses interleave
-        I/O with descent CPU) until every page any remaining probe can
-        touch is pool-resident — from that point on no probe can change
-        pool state, so the remaining hits and CPU charges are applied in
-        two vectorized aggregates (:meth:`BufferPool.touch_hits`, then
-        :meth:`SimClock.advance_many` over constant-cost arrays, which
-        accumulate exactly like the per-probe loop because pool hits
-        advance no time).  Residency is re-examined only after a probe
-        that actually missed — consecutive all-hit probes cannot change
-        it.  Irregular trees (non-monotone in-order separators after
-        heavy mutation) fall back to the plain probe loop.
+        Charging is bit-identical to ``for k in keys: tree.probe(k)``.
+        With no pinned pages, the full page-access trace of every probe
+        (descent path, first leaf, duplicate-continuation leaves) is
+        resolved up front by the vectorized LRU kernel
+        (:meth:`BufferPool.plan_many`); the resulting per-miss read
+        times and per-probe CPU charges are interleaved into one amounts
+        vector in exact sequential order and applied through
+        :meth:`SimClock.advance_many`, with disk statistics committed
+        alongside (:meth:`Disk.commit_page_reads`) — pool hits advance
+        no time and move no head, so the miss chain accumulates exactly
+        like the loop.  When any page is pinned the trace is instead
+        replayed one probe at a time until every page any remaining
+        probe can touch is pool-resident, then the rest is charged in
+        two vectorized aggregates.  Irregular trees (non-monotone
+        in-order separators after heavy mutation) fall back to the plain
+        probe loop.
 
-        ``budget_check``, when given, is called with the zero-based index
-        of every individually replayed probe.  In the batched tail the
-        clock is advanced chunk-by-chunk so that ``budget_check`` fires
-        at every index ``i`` with ``i % budget_stride == budget_stride -
-        1`` while the clock holds exactly the value the per-probe loop
-        would show there — censored (budget-aborted) runs therefore
-        abort at the same probe with the same clock in both modes.
+        ``budget_check``, when given, fires at every index ``i`` with
+        ``i % budget_stride == budget_stride - 1`` (and at every
+        individually replayed probe in the fallback paths) while the
+        clock holds exactly the value the per-probe loop would show
+        there — censored (budget-aborted) runs therefore abort at the
+        same probe with the same clock in both modes, with identical
+        disk statistics at the abort point.
         """
         keys = np.ascontiguousarray(np.asarray(keys), dtype=np.int64)
         n = int(keys.size)
@@ -486,6 +490,16 @@ class BPlusTree:
         env = self._env
         pool = env.pool
         probe_cpu = env.profile.btree_probe_cpu
+        planned = pool.plan_many(self.handle, all_pages)
+        if planned is not None:
+            self._charge_probes_planned(
+                planned, all_pages, offsets, descent_len, n,
+                budget_check, budget_stride,
+            )
+            return counts
+        # Pinned pages: the kernel's inclusion-property argument fails,
+        # so replay probes against the live pool until the batch becomes
+        # all-resident.
         unique_pages = np.unique(all_pages)
         # With more distinct pages than pool frames the batch can never
         # become all-resident; skip the (futile) residency checks.
@@ -535,6 +549,98 @@ class BPlusTree:
                     np.full(n - batched_from, unit, dtype=np.float64)
                 )
         return counts
+
+    def _charge_probes_planned(
+        self,
+        planned,
+        all_pages: np.ndarray,
+        offsets: np.ndarray,
+        descent_len: int,
+        n: int,
+        budget_check,
+        budget_stride: int | None,
+    ) -> None:
+        """Charge a kernel-planned probe batch, bit-identical to the loop.
+
+        Builds the exact charge sequence of the per-probe loop — for
+        probe ``b``: its ``descent_len`` page accesses, one probe-CPU
+        charge, then its continuation accesses — as one amounts vector
+        (pool hits contribute ``0.0``, which is additively inert), and
+        advances the clock over it in chunks ending at each
+        budget-stride boundary.  Disk statistics for the misses covered
+        by each chunk are committed before its boundary check, so a
+        censored run's recorded I/O delta matches the sequential loop's
+        at the abort point.  Pool stats and the final LRU state land
+        once at the end (a budget abort leaves the pool untouched;
+        measurements cold-reset the pool after an abort, so this is
+        unobservable — and the pre-existing batched replay path already
+        commits hits upfront).
+        """
+        env = self._env
+        pool = env.pool
+        disk = env.disk
+        clock = env.clock
+        unit = 1 * env.profile.btree_probe_cpu  # identical to charge_cpu(1, ...)
+        n_access = int(all_pages.size)
+        miss_idx = planned.miss_positions
+        reads = (
+            disk.plan_page_reads(self.handle, all_pages[miss_idx])
+            if miss_idx.size
+            else None
+        )
+        # Slot layout: probe b owns slots [offsets[b] + b, offsets[b+1] + b],
+        # one per page access plus one for its CPU charge, inserted after
+        # the first descent_len accesses.
+        per_probe = offsets[1:] - offsets[:-1]
+        probe_of_access = np.repeat(np.arange(n, dtype=np.int64), per_probe)
+        within_probe = (
+            np.arange(n_access, dtype=np.int64) - offsets[:-1][probe_of_access]
+        )
+        access_slots = (
+            np.arange(n_access, dtype=np.int64)
+            + probe_of_access
+            + (within_probe >= descent_len)
+        )
+        cpu_slots = offsets[:-1] + descent_len + np.arange(n, dtype=np.int64)
+        amounts = np.zeros(n_access + n, dtype=np.float64)
+        amounts[cpu_slots] = unit
+        if reads is not None:
+            amounts[access_slots[miss_idx]] = reads.elapsed
+        # First slot after probe b's charges complete.
+        probe_end_slot = offsets[1:] + np.arange(1, n + 1, dtype=np.int64)
+
+        flushed_slots = 0
+        committed_reads = 0
+
+        def flush(up_to_probe: int) -> None:
+            """Charge everything up to (excluding) probe ``up_to_probe``."""
+            nonlocal flushed_slots, committed_reads
+            slot_hi = int(probe_end_slot[up_to_probe - 1])
+            clock.advance_many(amounts[flushed_slots:slot_hi])
+            flushed_slots = slot_hi
+            if reads is not None:
+                read_hi = int(
+                    np.searchsorted(miss_idx, int(offsets[up_to_probe]))
+                )
+                disk.commit_page_reads(
+                    self.handle, reads, committed_reads, read_hi
+                )
+                committed_reads = read_hi
+
+        if budget_check is not None:
+            stride = int(budget_stride) if budget_stride else 1
+            boundary = stride - 1
+            done = 0
+            while boundary < n:
+                flush(boundary + 1)
+                done = boundary + 1
+                budget_check(boundary)
+                boundary += stride
+            if done < n:
+                flush(n)
+        else:
+            flush(n)
+        pool.commit_many(planned)
 
     def probe(self, key: int, charge: bool = True) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         """Return (keys, payload) of entries equal to ``key`` (may be empty).

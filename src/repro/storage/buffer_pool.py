@@ -12,22 +12,28 @@ a hot page cheap and cold random fetches expensive.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.errors import BufferPoolError
 from repro.sim.disk import Disk, FileHandle
+from repro.storage.lru_kernel import LruSimulation, simulate_lru
 
-#: Consecutive scalar-mode hits before :meth:`BufferPool.get_many` tries
-#: the vectorized hit-run path again (hit runs shorter than this are
-#: cheaper to walk one page at a time than to ``isin`` against a resident
-#: snapshot).
+#: Consecutive scalar-mode hits before the fallback walker of
+#: :meth:`BufferPool.get_many` tries the vectorized hit-run path again
+#: (hit runs shorter than this are cheaper to walk one page at a time
+#: than to ``isin`` against a resident snapshot).
 _VECTOR_HIT_STREAK = 64
 
 #: Upper bound on one vectorized hit-run segment, so a single ``isin``
 #: never scans an unbounded tail of the request.
 _VECTOR_SEGMENT = 8192
+
+#: Below this trace length the scalar walker beats the kernel's fixed
+#: NumPy overhead (a handful of dict probes vs several array ops).
+_KERNEL_MIN_ACCESSES = 8
 
 
 @dataclass
@@ -45,6 +51,34 @@ class PoolStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class PlannedAccesses:
+    """A resolved access trace awaiting its charges and state commit.
+
+    Produced by :meth:`BufferPool.plan_many`: the per-access hit
+    classification plus everything needed to later apply the trace's
+    pool-side effects in one step (:meth:`BufferPool.commit_many`).
+    Splitting plan from commit lets callers interleave the miss charges
+    with their own CPU charges (see :meth:`BPlusTree.probe_many`) while
+    the pool state lands exactly once.
+    """
+
+    simulation: LruSimulation
+    file_id: int
+    #: The planned trace (page numbers, as passed to ``plan_many``).
+    trace: np.ndarray
+    #: Trace positions that miss, ascending.
+    miss_positions: np.ndarray
+    #: Decode table for negative key codes: code ``-1 - k`` is
+    #: ``other_keys[k]``, a resident ``(file_id, page_no)`` of some other
+    #: file.
+    other_keys: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def hit_mask(self) -> np.ndarray:
+        return self.simulation.hit_mask
 
 
 class BufferPool:
@@ -87,33 +121,171 @@ class BufferPool:
 
         Produces exactly the same hit/miss counts, disk charges, eviction
         victims, and final LRU order as ``for p in page_nos:
-        pool.get(handle, p)`` — misses are replayed through :meth:`get`
-        one at a time (eviction decisions depend on the live LRU state),
-        while runs of consecutive hits are accounted in one vectorized
-        step via :meth:`touch_hits`.  Between two misses no other event
-        can change residency, so splitting the request at its misses
-        preserves the sequential semantics by construction.
-
-        The method adapts to the access pattern: miss-heavy stretches
-        (cold or thrashing pools) are walked one page at a time with O(1)
-        work per page, and the vectorized path re-engages only after a
-        long streak of hits suggests the pool has become resident.
+        pool.get(handle, p)``.  With no pinned pages the whole trace is
+        resolved up front by the vectorized LRU kernel
+        (:func:`repro.storage.lru_kernel.simulate_lru`, via
+        :meth:`plan_many`) and the misses charge through one
+        :meth:`Disk.read_runs` call — bit-identical to the sequential
+        read chain, since pool hits move neither the clock nor the disk
+        head between two misses.  Pinned pages (or negative page numbers,
+        which the scalar loop rejects mid-trace) fall back to the scalar
+        replay walker.
         """
         pages = np.ascontiguousarray(np.asarray(page_nos), dtype=np.int64)
         n = int(pages.size)
         if n == 0:
             return
+        planned = None
+        if n >= _KERNEL_MIN_ACCESSES:
+            planned = self.plan_many(handle, pages)
+        if planned is None:
+            self._get_many_scalar(handle, pages)
+            return
+        self.charge_planned_reads(handle, planned, 0, n)
+        self.commit_many(planned)
+
+    def plan_many(self, handle: FileHandle, page_nos) -> PlannedAccesses | None:
+        """Resolve a page-access trace through the vectorized LRU kernel.
+
+        Returns the planned trace — per-access hit flags plus the final
+        pool state — without charging anything or mutating the pool, or
+        ``None`` when the kernel's preconditions fail and callers must
+        replay the trace through the scalar path instead.  Preconditions:
+
+        * no page is pinned (pins break LRU's inclusion property — the
+          eviction victim is no longer simply the oldest key), and
+        * all page numbers are non-negative (negative codes are reserved
+          for other files' residents; the scalar loop raises on them
+          mid-trace, which the kernel cannot reproduce).
+
+        The caller charges one disk read per miss, in trace order, then
+        applies the pool-side effects with :meth:`commit_many`.
+        """
+        if self._pins:
+            return None
+        pages = np.ascontiguousarray(np.asarray(page_nos), dtype=np.int64)
+        if pages.size and bool(pages.min() < 0):
+            return None
+        fid = handle.file_id
+        resident_codes = np.empty(len(self._resident), dtype=np.int64)
+        other_keys: list[tuple[int, int]] = []
+        for index, (file_id, page) in enumerate(self._resident):
+            if file_id == fid:
+                resident_codes[index] = page
+            else:
+                resident_codes[index] = -1 - len(other_keys)
+                other_keys.append((file_id, page))
+        simulation = simulate_lru(pages, resident_codes, self._capacity)
+        miss_positions = np.nonzero(~simulation.hit_mask)[0]
+        return PlannedAccesses(simulation, fid, pages, miss_positions, other_keys)
+
+    def charge_planned_reads(
+        self, handle: FileHandle, planned: PlannedAccesses, start: int, stop: int
+    ) -> None:
+        """Charge the miss reads of the planned trace slice ``[start, stop)``.
+
+        Equivalent (bitwise, via :meth:`Disk.read_runs`) to the
+        single-page read chain the scalar loop issues over that slice:
+        hits move neither the clock nor the disk head, so the misses'
+        positioning chain is unaffected by the interleaved hits, and
+        consecutive slices chain through the persisted head position.
+        Callers slice at their budget-check boundaries (see
+        :meth:`FetchStrategy._charge_naive`) so censored runs abort with
+        the same clock and disk statistics as the sequential loop.
+        """
+        miss = planned.miss_positions
+        lo = int(np.searchsorted(miss, start))
+        hi = int(np.searchsorted(miss, stop))
+        if hi <= lo:
+            return
+        miss_pages = planned.trace[miss[lo:hi]]
+        self._disk.read_runs(
+            np.full(hi - lo, handle.file_id, dtype=np.int64),
+            miss_pages,
+            np.ones(hi - lo, dtype=np.int64),
+            handle,
+        )
+
+    def charge_planned_reads_strided(
+        self,
+        handle: FileHandle,
+        planned: PlannedAccesses,
+        stride: int,
+        checkpoint: Callable[[], None],
+    ) -> None:
+        """Charge all miss reads, calling ``checkpoint`` every ``stride``.
+
+        Equivalent to :meth:`charge_planned_reads` over consecutive
+        ``stride``-sized trace slices with ``checkpoint()`` after each —
+        the naive fetch's budget-check schedule — but the whole miss
+        chain is costed by one :meth:`Disk.plan_page_reads` pass instead
+        of one :meth:`Disk.read_runs` call per slice.  Bitwise identity
+        holds slice by slice: hits move neither the clock nor the head,
+        chunked :meth:`SimClock.advance_many` re-seeds with the running
+        clock (accumulating exactly as one sequential chain), and
+        :meth:`Disk.commit_page_reads` replays the loop's statistics
+        accumulation.  A ``checkpoint`` that raises (budget exhaustion)
+        leaves the clock and disk statistics exactly where the sliced
+        loop's abort would.
+        """
+        n = int(planned.trace.size)
+        miss = planned.miss_positions
+        reads = self._disk.plan_page_reads(handle, planned.trace[miss])
+        clock = self._disk.clock
+        slice_ends = np.minimum(np.arange(stride, n + stride, stride), n)
+        lo = 0
+        for hi in np.searchsorted(miss, slice_ends).tolist():
+            if hi > lo:
+                clock.advance_many(reads.elapsed[lo:hi])
+                self._disk.commit_page_reads(handle, reads, lo, hi)
+                lo = hi
+            checkpoint()
+
+    def commit_many(self, planned: PlannedAccesses) -> None:
+        """Apply a planned trace's stats and final LRU state to the pool."""
+        simulation = planned.simulation
+        self.stats.hits += simulation.n_hits
+        self.stats.misses += simulation.n_misses
+        self.stats.evictions += simulation.n_evictions
+        fid = planned.file_id
+        other_keys = planned.other_keys
+        resident: OrderedDict[tuple[int, int], None] = OrderedDict()
+        for code in simulation.final_keys.tolist():
+            if code >= 0:
+                resident[(fid, code)] = None
+            else:
+                resident[other_keys[-1 - code]] = None
+        self._resident = resident
+
+    def _get_many_scalar(self, handle: FileHandle, pages: np.ndarray) -> None:
+        """Scalar replay walker (pinned-page fallback for :meth:`get_many`).
+
+        Misses are replayed through the live LRU state one page at a
+        time, while runs of consecutive hits are accounted in one
+        vectorized step via :meth:`touch_hits`.  Between two misses no
+        other event can change residency, so splitting the request at its
+        misses preserves the sequential semantics by construction.  The
+        walker adapts to the access pattern: miss-heavy stretches are
+        walked with O(1) work per page, and the vectorized path
+        re-engages only after a long streak of hits suggests the pool has
+        become resident.  The per-file resident snapshot is reused across
+        hit segments — hits never change residency, so it only goes stale
+        at a miss.
+        """
+        n = int(pages.size)
         fid = handle.file_id
         resident = self._resident
         pos = 0
         vector_mode = True
+        snapshot: np.ndarray | None = None
         while pos < n:
             if vector_mode and (fid, int(pages[pos])) in resident:
                 segment = pages[pos : pos + _VECTOR_SEGMENT]
-                snapshot = np.fromiter(
-                    (page for file_id, page in resident if file_id == fid),
-                    dtype=np.int64,
-                )
+                if snapshot is None:
+                    snapshot = np.fromiter(
+                        (page for file_id, page in resident if file_id == fid),
+                        dtype=np.int64,
+                    )
                 hit = np.isin(segment, snapshot)
                 run = int(segment.size) if hit.all() else int(np.argmin(hit))
                 if run:
@@ -141,6 +313,7 @@ class BufferPool:
                     self.stats.misses += 1
                     self._disk.read_page(handle, key[1])
                     self._admit(key)
+                    snapshot = None  # residency changed
                 pos += 1
 
     def touch_hits(self, handle: FileHandle, page_nos) -> None:

@@ -1,0 +1,232 @@
+"""Property tests: the vectorized LRU kernel vs the scalar loop.
+
+The kernel's contract (`repro.storage.lru_kernel`) is *exactness*: for
+every trace it must reproduce the scalar ``get()`` loop's hit/miss
+classification, eviction count, final LRU order, disk charges, and —
+through `FetchStrategy._charge_naive` — the abort point of
+budget-censored runs.  These tests pit it against an independent
+OrderedDict reference (and against real scalar pools) across the regimes
+that stress different kernel paths: cold and pre-warmed pools,
+capacity-1 pools, multi-file residents, segment-boundary straddling, and
+pinned-page fallback.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.storage.lru_kernel as lru_kernel
+from repro.executor.batching import use_batched
+from repro.executor.context import CostBudgetExceeded, ExecContext
+from repro.executor.fetch import _NAIVE_CHUNK, NAIVE_FETCH
+from repro.sim.clock import SimClock
+from repro.sim.disk import Disk
+from repro.sim.profile import DeviceProfile
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.lru_kernel import simulate_lru
+from repro.storage import StorageEnv, Table
+
+#: Small pages so tiny tables still span many pages (matches conftest).
+SMALL_PROFILE = DeviceProfile(page_size=1024, memory_bytes=1 << 20)
+
+
+def make_table(env: StorageEnv, n_rows: int = 4096, seed: int = 7) -> Table:
+    generator = np.random.default_rng(seed)
+    return Table(
+        env,
+        "t",
+        {
+            "a": generator.integers(0, 1 << 16, n_rows),
+            "b": generator.integers(0, 1 << 20, n_rows),
+            "val": generator.integers(0, 1000, n_rows),
+        },
+    )
+
+
+def scalar_lru(trace, resident, capacity):
+    """Independent OrderedDict reference for :func:`simulate_lru`."""
+    pool = OrderedDict((int(key), None) for key in resident)
+    hits = np.zeros(len(trace), dtype=bool)
+    evictions = 0
+    for position, key in enumerate(trace):
+        key = int(key)
+        if key in pool:
+            pool.move_to_end(key)
+            hits[position] = True
+        else:
+            if len(pool) >= capacity:
+                pool.popitem(last=False)
+                evictions += 1
+            pool[key] = None
+    return hits, evictions, np.fromiter(pool, dtype=np.int64, count=len(pool))
+
+
+def assert_matches_scalar(trace, resident, capacity):
+    simulation = simulate_lru(
+        np.asarray(trace, dtype=np.int64),
+        np.asarray(resident, dtype=np.int64),
+        capacity,
+    )
+    hits, evictions, final = scalar_lru(trace, resident, capacity)
+    assert np.array_equal(simulation.hit_mask, hits)
+    assert simulation.n_evictions == evictions
+    assert np.array_equal(simulation.final_keys, final)
+
+
+@st.composite
+def lru_case(draw):
+    capacity = draw(st.integers(1, 12))
+    key_space = draw(st.integers(1, 20))
+    trace = draw(st.lists(st.integers(0, key_space), max_size=300))
+    # Pre-warmed pool: distinct keys, some from "other files" (negative
+    # codes, the encoding plan_many uses for foreign residents).
+    n_resident = draw(st.integers(0, min(capacity, key_space + 5)))
+    resident = draw(
+        st.lists(
+            st.integers(-5, key_space),
+            min_size=n_resident,
+            max_size=n_resident,
+            unique=True,
+        )
+    )
+    return trace, resident, capacity
+
+
+@given(lru_case())
+@settings(max_examples=300, deadline=None)
+def test_kernel_matches_scalar_reference(case):
+    trace, resident, capacity = case
+    assert_matches_scalar(trace, resident, capacity)
+
+
+@given(lru_case(), st.sampled_from([3, 7, 32]))
+@settings(max_examples=150, deadline=None)
+def test_kernel_exact_at_any_segment_size(case, segment):
+    """Segmenting (state carry + saturation deferral) never changes results."""
+    trace, resident, capacity = case
+    before = lru_kernel._SEGMENT
+    lru_kernel._SEGMENT = segment
+    try:
+        assert_matches_scalar(trace, resident, capacity)
+    finally:
+        lru_kernel._SEGMENT = before
+
+
+@given(st.lists(st.integers(0, 30), max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_kernel_capacity_one(trace):
+    """Capacity-1 pools: every access misses unless it repeats its predecessor."""
+    assert_matches_scalar(trace, [], 1)
+
+
+def make_pools(capacity=8):
+    """Two pools over separate disks, for batched-vs-scalar comparison."""
+    pools = []
+    for _ in range(2):
+        disk = Disk(SimClock(), DeviceProfile())
+        pool = BufferPool(disk, capacity)
+        handles = (disk.create_file("a"), disk.create_file("b"))
+        pools.append((pool, disk, handles))
+    return pools
+
+
+@given(
+    st.lists(st.integers(0, 40), min_size=8, max_size=400),
+    st.lists(st.tuples(st.integers(0, 1), st.integers(0, 40)), max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_get_many_bitwise_equals_get_loop(trace, warm_accesses):
+    """Pool-level identity, including multi-file pre-warmed residents."""
+    (kernel_pool, kernel_disk, kernel_handles), (
+        scalar_pool,
+        scalar_disk,
+        scalar_handles,
+    ) = make_pools()
+    for which, page in warm_accesses:
+        kernel_pool.get(kernel_handles[which], page)
+        scalar_pool.get(scalar_handles[which], page)
+    pages = np.asarray(trace, dtype=np.int64)
+    kernel_pool.get_many(kernel_handles[0], pages)
+    for page in pages:
+        scalar_pool.get(scalar_handles[0], int(page))
+    assert vars(kernel_pool.stats) == vars(scalar_pool.stats)
+    assert kernel_disk.stats == scalar_disk.stats
+    assert kernel_disk.clock.now == scalar_disk.clock.now
+    assert [
+        (file_id, page) for file_id, page in kernel_pool._resident
+    ] == [(file_id, page) for file_id, page in scalar_pool._resident]
+
+
+def test_plan_many_refuses_pinned_pages():
+    (pool, _disk, handles), _ = make_pools()
+    pool.pin(handles[0], 3)
+    assert pool.plan_many(handles[0], np.arange(20)) is None
+    pool.unpin(handles[0], 3)
+    assert pool.plan_many(handles[0], np.arange(20)) is not None
+
+
+def test_get_many_pinned_fallback_matches_scalar():
+    (kernel_pool, kernel_disk, kernel_handles), (
+        scalar_pool,
+        scalar_disk,
+        scalar_handles,
+    ) = make_pools(capacity=4)
+    kernel_pool.pin(kernel_handles[0], 0)
+    scalar_pool.pin(scalar_handles[0], 0)
+    pages = np.array([1, 2, 3, 1, 2, 4, 5, 1, 6, 2, 7, 1], dtype=np.int64)
+    kernel_pool.get_many(kernel_handles[0], pages)
+    for page in pages:
+        scalar_pool.get(scalar_handles[0], int(page))
+    assert vars(kernel_pool.stats) == vars(scalar_pool.stats)
+    assert kernel_disk.stats == scalar_disk.stats
+    assert kernel_pool.contains(kernel_handles[0], 0)  # pin survived
+
+
+def test_plan_many_refuses_negative_pages():
+    (pool, _disk, handles), _ = make_pools()
+    assert pool.plan_many(handles[0], np.array([1, -2, 3])) is None
+
+
+def _measure_naive_fetch(batched, budget_seconds, n_rids=3000):
+    """(clock seconds, disk stats, aborted) of one budgeted naive fetch."""
+    env = StorageEnv(SMALL_PROFILE, pool_pages=64)
+    table = make_table(env)
+    rids = np.random.default_rng(5).choice(table.n_rows, n_rids, replace=False)
+    env.cold_reset()
+    ctx = ExecContext(env, budget_seconds=budget_seconds)
+    ctx.arm_budget()
+    aborted = False
+    with use_batched(batched):
+        try:
+            NAIVE_FETCH.fetch(ctx, table, rids, columns=["val"])
+        except CostBudgetExceeded:
+            aborted = True
+    return env.clock.now, env.disk.stats, aborted
+
+
+@pytest.mark.parametrize(
+    "budget_seconds",
+    [None, 1e-3, 5e-3, 20e-3],
+    ids=["uncensored", "tight", "mid", "loose"],
+)
+def test_naive_fetch_abort_point_identity(budget_seconds):
+    """Censored runs abort at bitwise-identical points in both modes.
+
+    The trace straddles many ``_NAIVE_CHUNK`` boundaries; the budgets are
+    chosen so some runs abort mid-trace.  Clock and full disk statistics
+    must agree exactly at the abort (or completion) point.
+    """
+    reference = _measure_naive_fetch(False, budget_seconds)
+    batched = _measure_naive_fetch(True, budget_seconds)
+    assert reference == batched
+
+
+def test_trace_straddles_chunk_boundaries():
+    """Sanity: the abort-identity trace really crosses chunk boundaries."""
+    env = StorageEnv(SMALL_PROFILE, pool_pages=64)
+    table = make_table(env)
+    assert table.n_rows > 2 * _NAIVE_CHUNK
