@@ -14,6 +14,11 @@ Measures the three properties the service exists for and writes a
   reported), every client gets byte-identical bytes, and the service
   books exactly one job.
 
+While the fan-in service is still live, ``GET /metrics`` is scraped and
+checked: the body must parse as Prometheus text exposition (0.0.4) and
+the job counters must agree with what the benchmark just did (one
+submission, N-1 deduplicated, one completed job).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py \
@@ -48,6 +53,37 @@ def http_json(base: str, path: str, payload: dict | None = None) -> dict:
         )
     with urllib.request.urlopen(request) as resp:
         return json.loads(resp.read())
+
+
+def scrape_metrics(base: str) -> tuple[dict[str, float], list[str]]:
+    """Scrape ``/metrics`` from a live service and sanity-check the text.
+
+    Returns the parsed samples (metric name + labels -> value) and any
+    format problems found.
+    """
+    problems: list[str] = []
+    with urllib.request.urlopen(base + "/metrics") as resp:
+        content_type = resp.headers["Content-Type"]
+        text = resp.read().decode("utf-8")
+    if not content_type.startswith("text/plain; version=0.0.4"):
+        problems.append(f"/metrics content type {content_type!r}")
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line:
+            problems.append("blank line inside the exposition")
+            continue
+        if line.startswith("#"):
+            if not line.startswith(("# HELP ", "# TYPE ")):
+                problems.append(f"malformed comment line {line!r}")
+            continue
+        series, _, value = line.rpartition(" ")
+        try:
+            samples[series] = float(value)
+        except ValueError:
+            problems.append(f"unparseable sample line {line!r}")
+    if not samples:
+        problems.append("/metrics returned no samples")
+    return samples, problems
 
 
 class Service:
@@ -178,8 +214,26 @@ def main(argv=None) -> int:
                 thread.join()
             fanin_wall = time.perf_counter() - start
             stats = http_json(fanin_service.base, "/stats")
+            # Scrape the live service's metrics plane before teardown.
+            metrics, metric_problems = scrape_metrics(fanin_service.base)
         finally:
             fanin_service.close()
+        failures.extend(metric_problems)
+        expected = {
+            "repro_jobs_submitted_total": 1.0,
+            "repro_jobs_deduplicated_total": float(args.clients - 1),
+            'repro_jobs_completed_total{state="done"}': 1.0,
+            "repro_job_seconds_count": 1.0,
+        }
+        for series, want in expected.items():
+            got = metrics.get(series)
+            if got != want:
+                failures.append(f"metrics: {series} = {got}, expected {want}")
+        print(
+            f"metrics: {len(metrics)} samples scraped "
+            f"(submitted={metrics.get('repro_jobs_submitted_total')}, "
+            f"deduped={metrics.get('repro_jobs_deduplicated_total')})"
+        )
         fanin_ratio = fanin_wall / cold_s if cold_s else float("inf")
         print(
             f"dedup: {args.clients} concurrent clients in {fanin_wall:8.2f}s "
@@ -215,6 +269,7 @@ def main(argv=None) -> int:
         "fanin_wall_seconds": round(fanin_wall, 4),
         "fanin_ratio_vs_cold": round(fanin_ratio, 4),
         "fanin_jobs_booked": stats["jobs"],
+        "metrics_samples_scraped": len(metrics),
         "bit_identical": not any("differ" in f for f in failures),
     }
     with open(args.out, "w") as fh:

@@ -1,0 +1,190 @@
+"""Tracing overhead benchmark: off vs no-op tracer vs full capture.
+
+Sweeps the same grids three ways — tracing off (the default), with a
+:class:`~repro.obs.tracer.NullTracer` installed (the pure dispatch cost
+of having *a* tracer present: one context-var read and ``begin`` call
+per operator), and with full profile capture
+(``capture_profiles=True``) — on a two-predicate selectivity scenario
+and a join scenario, then writes a ``BENCH_trace.json`` artifact.
+
+Two gates, both on by default:
+
+* the no-op tracer must cost at most ``--max-null-overhead`` (1.10 =
+  10%) over tracing off — the floor every untraced sweep pays;
+* full capture must cost at most ``--max-full-overhead`` (2.0x) —
+  tracing is an observability mode, not a different engine.
+
+The maps are also asserted byte-identical across all three modes
+(spans observe charging, they never alter it), so this doubles as a
+perf-path regression guard on the identity invariant.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py \
+        [--rows 16384] [--min-exp -5] [--repeat 3] [--out BENCH_trace.json]
+        [--max-null-overhead 1.10] [--max-full-overhead 2.0] [--no-gates]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.parameter_space import Space2D
+from repro.core.runner import RobustnessSweep
+from repro.core.scenario import (
+    JoinScenario,
+    OperatorBench,
+    TwoPredicateScenario,
+)
+from repro.obs.tracer import NullTracer, use_tracer
+from repro.systems import SystemA, SystemConfig
+from repro.workloads import LineitemConfig
+
+
+def map_json(mapdata) -> str:
+    return json.dumps(mapdata.to_dict(), sort_keys=True)
+
+
+def timed_best_of(repeat, run):
+    """Best-of-N wall seconds (and the last map, for identity checks)."""
+    best = float("inf")
+    mapdata = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        mapdata = run()
+        best = min(best, time.perf_counter() - start)
+    return best, mapdata
+
+
+def bench_scenario(label, scenario, providers, repeat):
+    """Time one scenario in the three tracing modes.
+
+    The scenario is built once, outside the timed region: its predicate
+    and oracle setup is mode-independent and would only dilute the
+    overhead ratios.
+    """
+
+    def sweep(capture):
+        return RobustnessSweep(
+            providers, budget_seconds=30.0, capture_profiles=capture
+        ).sweep(scenario)
+
+    off_s, off_map = timed_best_of(repeat, lambda: sweep(False))
+
+    def null_sweep():
+        with use_tracer(NullTracer()):
+            return sweep(False)
+
+    null_s, null_map = timed_best_of(repeat, null_sweep)
+    full_s, full_map = timed_best_of(repeat, lambda: sweep(True))
+
+    n_cells = int(np.prod(off_map.grid_shape))
+    identical = (
+        map_json(off_map) == map_json(null_map) == map_json(full_map)
+    )
+    n_profiles = len(full_map.meta.get("profiles", {}))
+    result = {
+        "cells": n_cells,
+        "plans": len(off_map.plan_ids),
+        "profiles_captured": n_profiles,
+        "off_seconds": round(off_s, 4),
+        "null_seconds": round(null_s, 4),
+        "full_seconds": round(full_s, 4),
+        "off_cells_per_sec": round(n_cells / off_s, 2) if off_s else None,
+        "null_overhead": round(null_s / off_s, 4) if off_s else None,
+        "full_overhead": round(full_s / off_s, 4) if off_s else None,
+        "bit_identical": identical,
+    }
+    print(
+        f"{label}: {n_cells} cells x {result['plans']} plans | "
+        f"off {off_s:.3f}s, null {null_s:.3f}s "
+        f"({result['null_overhead']:.3f}x), full {full_s:.3f}s "
+        f"({result['full_overhead']:.3f}x), identical={identical}"
+    )
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=1 << 14)
+    parser.add_argument("--min-exp", type=int, default=-5)
+    # Join inputs sized so one sweep takes a few hundred ms: small
+    # enough for CI, large enough that per-sweep noise stays well under
+    # the 10% no-op gate.
+    parser.add_argument("--join-rows", type=int, nargs="+",
+                        default=[4096, 8192, 16384, 32768])
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_trace.json")
+    parser.add_argument("--max-null-overhead", type=float, default=1.10)
+    parser.add_argument("--max-full-overhead", type=float, default=2.0)
+    parser.add_argument(
+        "--no-gates", action="store_true",
+        help="report overheads without failing on them",
+    )
+    args = parser.parse_args(argv)
+
+    system_a = SystemA(
+        SystemConfig(lineitem=LineitemConfig(n_rows=args.rows, seed=args.seed))
+    )
+    space = Space2D.log2("sel_a", "sel_b", args.min_exp, 0)
+    bench = OperatorBench()
+    join = JoinScenario(
+        bench,
+        build_targets=args.join_rows,
+        probe_targets=args.join_rows,
+        key_domain=4096,
+        seed=args.seed,
+    )
+    scenarios = {
+        "two_predicate": bench_scenario(
+            "two_predicate",
+            TwoPredicateScenario([system_a], space),
+            [system_a],
+            args.repeat,
+        ),
+        "join": bench_scenario("join", join, [bench], args.repeat),
+    }
+
+    payload = {
+        "bench": "trace_overhead",
+        "rows": args.rows,
+        "repeat": args.repeat,
+        "platform": platform.platform(),
+        "max_null_overhead": args.max_null_overhead,
+        "max_full_overhead": args.max_full_overhead,
+        "scenarios": scenarios,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    for name, result in scenarios.items():
+        if not result["bit_identical"]:
+            failures.append(f"{name}: traced map differs from untraced map")
+        if args.no_gates:
+            continue
+        if result["null_overhead"] > args.max_null_overhead:
+            failures.append(
+                f"{name}: no-op tracer overhead {result['null_overhead']:.3f}x "
+                f"> {args.max_null_overhead:.2f}x"
+            )
+        if result["full_overhead"] > args.max_full_overhead:
+            failures.append(
+                f"{name}: full capture overhead {result['full_overhead']:.3f}x "
+                f"> {args.max_full_overhead:.2f}x"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

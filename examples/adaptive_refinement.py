@@ -100,8 +100,8 @@ def main() -> None:
     def progress(event) -> None:
         nonlocal last_event
         last_event = event
-        rate = event.done / event.elapsed if event.elapsed > 0 else float("inf")
-        line = f"  {event} [{rate:,.0f} cells/s]"
+        rate = event.cells_per_sec
+        line = f"  {event}" + (f" [{rate:,.0f} cells/s]" if rate is not None else "")
         if event.kind == "round" and event.cache_hits is not None:
             hit_rate = event.cache_hits / event.wave_cells if event.wave_cells else 0.0
             line += f" [wave hit rate {hit_rate:.0%}]"
@@ -130,9 +130,9 @@ def main() -> None:
         f"measured {measured}/{n_cells} cells "
         f"({measured / n_cells:.0%}) in {refined.meta['refine_rounds']} rounds"
     )
-    if last_event is not None and last_event.elapsed > 0:
+    if last_event is not None and last_event.cells_per_sec is not None:
         print(
-            f"throughput {last_event.done / last_event.elapsed:,.0f} cells/s "
+            f"throughput {last_event.cells_per_sec:,.0f} cells/s "
             f"({last_event.done} cells in {last_event.elapsed:.1f}s, "
             "from the progress stream)"
         )

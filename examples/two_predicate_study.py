@@ -65,8 +65,8 @@ def progress(event) -> None:
     stopwatch, so the printed throughput cannot drift from the engine's
     ETA the way a locally recomputed elapsed time could.
     """
-    rate = event.done / event.elapsed if event.elapsed > 0 else float("inf")
-    print(f"  {event} [{rate:,.0f} cells/s]")
+    rate = event.cells_per_sec
+    print(f"  {event}" + (f" [{rate:,.0f} cells/s]" if rate is not None else ""))
 
 
 def main() -> None:

@@ -62,8 +62,27 @@ from repro.viz.figures import absolute_heatmap, heatmap_png_pixels
 from repro.viz.png import encode_png
 
 
+_quiet = False
+
+
+def _set_quiet(quiet: bool) -> None:
+    global _quiet
+    _quiet = quiet
+
+
+def _status(message: str) -> None:
+    """The one funnel for progress/status lines: stderr, ``--quiet`` mute.
+
+    Result output (claim tables, scenario summaries, artifact paths)
+    stays on stdout; everything that narrates the run's *progress* goes
+    through here so ``--quiet`` silences it uniformly.
+    """
+    if not _quiet:
+        print(message, file=sys.stderr, flush=True)
+
+
 class _ProgressPrinter:
-    """Streams sweep :class:`ProgressEvent` lines to stderr.
+    """Streams sweep :class:`ProgressEvent` lines to the status stream.
 
     Events carry scenario, done/total, elapsed, and ETA as typed fields
     (no string sniffing); ``event.render()`` keeps the familiar
@@ -72,7 +91,7 @@ class _ProgressPrinter:
     """
 
     def __call__(self, event: ProgressEvent) -> None:
-        print(f"  {event.render()}", file=sys.stderr, flush=True)
+        _status(f"  {event.render()}")
 
 
 def _scenario_heatmaps(mapdata, name: str, out_dir: Path) -> list[Path]:
@@ -136,7 +155,11 @@ def _regret_artifacts(session: BenchSession, out_dir: Path) -> None:
 
 
 def _run_scenarios(
-    session: BenchSession, names: list[str], out_dir: Path, regret: bool = False
+    session: BenchSession,
+    names: list[str],
+    out_dir: Path,
+    regret: bool = False,
+    trace_out: Path | None = None,
 ) -> int:
     """Sweep each named scenario, write its MapData + heat maps, summarize."""
     names = [n.replace("-", "_") for n in names]
@@ -156,8 +179,13 @@ def _run_scenarios(
         )
         return 2
     out_dir.mkdir(parents=True, exist_ok=True)
+    traced: list = []
     for name in names:
         mapdata = session.scenario_map(name)
+        if trace_out is not None:
+            from repro.obs.profile import profiles_from_meta
+
+            traced.extend(profiles_from_meta(mapdata.meta).values())
         path = out_dir / f"scenario_{name}.json"
         mapdata.save(path)
         axes = " x ".join(
@@ -208,6 +236,16 @@ def _run_scenarios(
                 print(f"  wrote {artifact}")
         if regret and name == "estimation":
             _regret_artifacts(session, out_dir)
+    if trace_out is not None:
+        from repro.obs.profile import write_chrome_trace
+
+        written = write_chrome_trace(trace_out, traced)
+        print(f"  wrote {written} ({len(traced)} cell profiles)")
+        if not traced:
+            _status(
+                "  note: no profiles were captured (warm whole-map cache "
+                "runs skip the sweep entirely)"
+            )
     return 0
 
 
@@ -302,6 +340,11 @@ def _serve_main(argv: list[str]) -> int:
         help="content-addressed per-cell store shared by all jobs "
         "(REPRO_BENCH_CELL_CACHE)",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access log lines",
+    )
     args = parser.parse_args(argv)
     if args.rows is not None:
         os.environ["REPRO_BENCH_ROWS"] = str(args.rows)
@@ -320,7 +363,7 @@ def _serve_main(argv: list[str]) -> int:
         cell_budget=args.cell_budget,
         snapshot_every=args.snapshot_every,
     )
-    serve(manager, host=args.host, port=args.port)
+    serve(manager, host=args.host, port=args.port, quiet=args.quiet)
     return 0
 
 
@@ -350,6 +393,25 @@ def main(argv: list[str] | None = None) -> int:
         "--progress",
         action="store_true",
         help="stream sweep progress with ETA to stderr",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="silence all stderr progress/status lines (results on "
+        "stdout are unaffected)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture per-cell execution profiles while sweeping (sets "
+        "REPRO_TRACE; measured maps are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="with --scenario: write the captured profiles as Chrome "
+        "trace-event JSON (viewable at ui.perfetto.dev); implies --trace",
     )
     parser.add_argument(
         "--refine",
@@ -396,10 +458,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    _set_quiet(args.quiet)
     if args.rows is not None:
         os.environ["REPRO_BENCH_ROWS"] = str(args.rows)
     if args.workers is not None:
         os.environ["REPRO_BENCH_WORKERS"] = str(args.workers)
+    if args.trace or args.trace_out is not None:
+        os.environ["REPRO_TRACE"] = "1"
+    if args.trace_out is not None and args.scenario is None:
+        parser.error("--trace-out needs --scenario (profiles ride on maps)")
     if args.refine:
         os.environ["REPRO_BENCH_REFINE"] = "1"
     if args.max_cells is not None:
@@ -419,7 +486,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.scenario is not None:
         names = [name.strip() for name in args.scenario.split(",") if name.strip()]
         code = _run_scenarios(
-            session, names, Path(args.output), regret=args.regret
+            session,
+            names,
+            Path(args.output),
+            regret=args.regret,
+            trace_out=Path(args.trace_out) if args.trace_out else None,
         )
         _print_store_stats(session)
         return code

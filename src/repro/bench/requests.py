@@ -58,6 +58,7 @@ from repro.core.scenario import (
     operator_bench_factory,
 )
 from repro.errors import ExperimentError
+from repro.obs.tracer import tracing_requested
 from repro.systems import DatabaseSystem, SystemConfig, build_three_systems
 from repro.workloads import LineitemConfig
 
@@ -150,6 +151,15 @@ class BenchConfig:
     the cell store survives grid-resolution changes, plan-subset sweeps,
     and refinement reruns — only the overlapping cells hit."""
 
+    trace: bool = field(
+        default_factory=lambda: tracing_requested(os.environ)
+    )
+    """Capture per-cell execution profiles (sim-time span trees; see
+    :mod:`repro.obs`) while sweeping.  Default from ``REPRO_TRACE``.
+    Spans observe charging but never alter it, so this knob cannot
+    change any measured value — it is excluded from the fingerprint and
+    the cell-store context, like worker counts and cache locations."""
+
     #: Knobs that cannot change any *individual* cell measurement: cache
     #: locations, worker counts, the grid/axis layouts (cell coordinates
     #: are part of each cell's key), and the cell policy.  Everything
@@ -161,6 +171,7 @@ class BenchConfig:
             "n_workers",
             "cache_dir",
             "cell_cache_dir",
+            "trace",
             "min_exp_1d",
             "min_exp_2d",
             "sort_rows",
@@ -191,7 +202,7 @@ class BenchConfig:
         fingerprint and do not invalidate caches.
         """
         return self._knob_digest(
-            frozenset({"n_workers", "cache_dir", "cell_cache_dir"})
+            frozenset({"n_workers", "cache_dir", "cell_cache_dir", "trace"})
         )
 
     def cell_store_context(self) -> str:
@@ -652,6 +663,7 @@ def compute_map(session: "BenchSession", definition: MapDefinition) -> MapData:
             n_workers=config.n_workers,
             progress=session.progress,
             snapshot_every=session.snapshot_every,
+            capture_profiles=config.trace,
             **session._store_kwargs(),
         )
         return engine.sweep(definition.spec(config), policy=session._policy())
@@ -662,5 +674,6 @@ def compute_map(session: "BenchSession", definition: MapDefinition) -> MapData:
         policy=session._policy(),
         progress=session.progress or (lambda event: None),
         snapshot_every=session.snapshot_every,
+        capture_profiles=config.trace,
         **session._store_kwargs(),
     )

@@ -365,8 +365,22 @@ def records_from_part(
     coverage) and keys each value for write-back.  The parent process
     calls this on the parts workers return — workers never touch the
     store.
+
+    Parts measured with profile capture carry span trees in
+    ``meta["profiles"]``; those ride along under derived
+    ``plan_id + "#profile"`` keys so warm reruns replay them too.
     """
-    return [
+    from repro.obs.profile import (
+        PROFILES_META_KEY,
+        STORE_KEY_SUFFIX,
+        parse_profile_key,
+    )
+
+    entries = [
         (keyer.key(plan_id, idx), {"s": seconds, "a": aborted, "r": rows})
         for idx, plan_id, seconds, aborted, rows in part.cell_records()
     ]
+    for key, profile in part.meta.get(PROFILES_META_KEY, {}).items():
+        plan_id, idx = parse_profile_key(key)
+        entries.append((keyer.key(plan_id + STORE_KEY_SUFFIX, idx), profile))
+    return entries

@@ -460,6 +460,15 @@ class MapData:
         meta = {k: v for k, v in first.meta.items() if k != "cells"}
         if len(seen) != n_cells:
             meta["cells"] = sorted(seen)
+        # Profiles cover the same disjoint cell subsets as the parts, so
+        # their union is a plain dict union (cell overlap already raised).
+        profiles: dict = {}
+        for part in parts:
+            profiles.update(part.meta.get("profiles", {}))
+        if profiles:
+            meta["profiles"] = profiles
+        elif "profiles" in meta:
+            del meta["profiles"]
         return cls(
             plan_ids=list(first.plan_ids),
             times=times,
@@ -484,7 +493,10 @@ class MapData:
             "y_targets": _encode_nan(self.y_targets),
             "y_achieved": _encode_nan(self.y_achieved),
             "axes": [axis.to_dict() for axis in self.axes or []],
-            "meta": self.meta,
+            # Profiles are observability side-band, not map content:
+            # excluding them keeps cached map JSON and golden fixtures
+            # byte-identical whether tracing was on or off.
+            "meta": {k: v for k, v in self.meta.items() if k != "profiles"},
         }
 
     @classmethod

@@ -208,17 +208,22 @@ class ParallelSweep:
         cell_store: CellStore | None = None,
         store_context: str = "",
         snapshot_every: int | None = None,
+        capture_profiles: bool = False,
     ) -> None:
         self.factory = factory
         # Workers never receive the store (the parent owns all reads and
         # writes), so these kwargs deliberately exclude it.  Snapshots
         # stay out too: workers see chunk-local coverage only, so the
         # parent attaches merged snapshots at chunk granularity instead.
+        # capture_profiles travels to the workers: profiles are plain
+        # dicts in part meta, so they pickle back with the part and merge
+        # like any other coverage.
         self.sweep_kwargs = {
             "budget_seconds": budget_seconds,
             "memory_bytes": memory_bytes,
             "jitter": jitter,
             "verify_agreement": verify_agreement,
+            "capture_profiles": capture_profiles,
         }
         self.n_workers = n_workers
         self.chunk_cells = chunk_cells
@@ -295,7 +300,14 @@ class ParallelSweep:
             # Parent-side scenario: keys, hit replay, and write-back all
             # happen here, never in a worker.  Progress stays silent on
             # this sweep — _measure_wave emits the chunk events itself.
-            parent = RobustnessSweep(list(self.factory()), **self.sweep_kwargs)
+            # The store rides along so profile capture can replay stored
+            # span trees on hits (measurement hits arrive preloaded).
+            parent = RobustnessSweep(
+                list(self.factory()),
+                cell_store=self.cell_store,
+                store_context=self.store_context,
+                **self.sweep_kwargs,
+            )
             scenario = build_scenario(spec, parent.systems)
             store_ctx = _StoreContext(
                 store=self.cell_store,

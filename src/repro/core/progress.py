@@ -62,18 +62,35 @@ class ProgressEvent:
     snapshot: "MapData | None" = field(default=None, repr=False, compare=False)
 
     @property
+    def cells_per_sec(self) -> float | None:
+        """Observed measurement rate, or None before the first cell lands.
+
+        An all-cache-hit wave can legitimately tick with ``elapsed`` of
+        0.0; that reports as None too (no rate observed), never a
+        division error.
+        """
+        if self.done <= 0 or self.elapsed <= 0.0:
+            return None
+        return self.done / self.elapsed
+
+    @property
     def eta(self) -> float | None:
         """Remaining seconds at the observed cell rate (None if unknowable).
 
         Round events have no ETA: a refinement sweep's ``total`` is the
         full grid, but how much of it the policy will actually measure
         is unknown until it stops, so extrapolating would wildly
-        overestimate.
+        overestimate.  ``done == 0`` — e.g. the zero-progress tick of a
+        wave whose cells were all cache hits — has no observed rate, so
+        the ETA is unknowable (None), not zero and not an extrapolation
+        from nothing.
         """
         if self.kind == "round":
             return None
-        if self.done <= 0 or self.total <= self.done:
-            return 0.0 if self.total == self.done and self.done else None
+        if self.done == 0:
+            return None
+        if self.total <= self.done:
+            return 0.0 if self.total == self.done else None
         return self.elapsed / self.done * (self.total - self.done)
 
     def _timing(self) -> str:

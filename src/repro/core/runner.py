@@ -56,6 +56,13 @@ from repro.core.scenario import (
 )
 from repro.errors import ExperimentError
 from repro.executor.plans import MeasuredRun, PlanRunner
+from repro.obs.profile import (
+    PROFILES_META_KEY,
+    STORE_KEY_SUFFIX,
+    CellProfile,
+    profile_key,
+)
+from repro.obs.tracer import Tracer, use_tracer
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,14 @@ class RobustnessSweep:
     carrying exactly the cells measured so far (``meta["cells"]``), so a
     live consumer — the map service's partial-map polls — can render the
     sparse map mid-sweep.  Snapshots never change what gets measured.
+
+    ``capture_profiles`` (default off) installs a sim-time
+    :class:`~repro.obs.tracer.Tracer` around every plan measurement and
+    attaches the resulting per-cell span trees to ``meta["profiles"]``
+    (see :mod:`repro.obs.profile`).  Spans observe charging but never
+    alter it, so measured maps are bit-identical with capture on or off;
+    with a cell store, profiles ride along under derived ``#profile``
+    keys and replay on hits.
     """
 
     def __init__(
@@ -116,6 +131,7 @@ class RobustnessSweep:
         cell_store: CellStore | None = None,
         store_context: str = "",
         snapshot_every: int | None = None,
+        capture_profiles: bool = False,
     ) -> None:
         self.systems = list(systems)
         if not self.systems:
@@ -127,6 +143,7 @@ class RobustnessSweep:
         self.progress = progress or (lambda event: None)
         self.cell_store = cell_store
         self.store_context = store_context
+        self.capture_profiles = capture_profiles
         if snapshot_every is not None and snapshot_every < 1:
             raise ExperimentError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
@@ -167,11 +184,29 @@ class RobustnessSweep:
         plans_by_runner: list[tuple[PlanRunner, dict]],
         cell: tuple[int, ...],
         expected_rows: int,
+        profiles: dict[str, dict] | None = None,
     ) -> dict[str, MeasuredRun]:
         runs: dict[str, MeasuredRun] = {}
         for runner, plans in plans_by_runner:
             for plan_id, plan in plans.items():
-                run = runner.measure(plan)
+                if profiles is None:
+                    run = runner.measure(plan)
+                else:
+                    # Spans observe charging but never alter it (same
+                    # contract as batching), so the measured map is
+                    # bit-identical with capture on or off.  The profile
+                    # keeps the raw virtual seconds — jitter is a
+                    # presentation transform applied in _record.
+                    tracer = Tracer()
+                    with use_tracer(tracer):
+                        run = runner.measure(plan)
+                    profiles[profile_key(plan_id, cell)] = CellProfile(
+                        plan_id=plan_id,
+                        cell=tuple(int(c) for c in cell),
+                        seconds=run.seconds,
+                        aborted=run.aborted,
+                        spans=tracer.drain(),
+                    ).to_dict()
                 if (
                     self.verify_agreement
                     and not run.aborted
@@ -334,9 +369,21 @@ class RobustnessSweep:
             )
         track_hits = preloaded is not None or self.cell_store is not None
         self._last_wave_hits = len(hits) if track_hits else None
+        profiles: dict[str, dict] | None = (
+            {} if self.capture_profiles else None
+        )
         for flat, records in hits.items():
             idx = tuple(int(k) for k in np.unravel_index(flat, shape))
             self._fill_stored(records, plan_ids, times, aborted, rows, idx)
+            if profiles is not None and self.cell_store is not None:
+                if keyer is None:
+                    keyer = self.store_keyer(scenario)
+                for plan_id in plan_ids:
+                    stored = self.cell_store.get(
+                        keyer.key(plan_id + STORE_KEY_SUFFIX, idx)
+                    )
+                    if stored is not None:
+                        profiles[profile_key(plan_id, idx)] = stored
         covered.extend(int(flat) for flat in hits)
         misses = [flat for flat in cell_list if flat not in hits]
         if hits:
@@ -385,7 +432,9 @@ class RobustnessSweep:
                         memory_bytes=cell.memory_bytes,
                     )
                 plans_by_runner.append((runner, plans))
-            runs = self._measure_cell(plans_by_runner, idx, cell.expected_rows)
+            runs = self._measure_cell(
+                plans_by_runner, idx, cell.expected_rows, profiles=profiles
+            )
             self._record(runs, plan_ids, times, aborted, idx)
             covered.append(int(flat))
             wants_snapshot = self.snapshot_every is not None and (
@@ -420,12 +469,23 @@ class RobustnessSweep:
                             },
                         )
                     )
+                    if profiles is not None:
+                        stored_profile = profiles.get(profile_key(plan_id, idx))
+                        if stored_profile is not None:
+                            entries.append(
+                                (
+                                    keyer.key(plan_id + STORE_KEY_SUFFIX, idx),
+                                    stored_profile,
+                                )
+                            )
             self.cell_store.put_many(entries)
 
         meta = dict(scenario.meta(self))
         meta["scenario"] = scenario.name
         if cells is not None:
             meta["cells"] = cell_list
+        if profiles:
+            meta[PROFILES_META_KEY] = profiles
         return MapData(
             plan_ids=plan_ids,
             times=times,

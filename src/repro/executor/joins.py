@@ -40,6 +40,7 @@ from repro.executor.context import ExecContext
 from repro.executor.plans import PlanNode, _estimate
 from repro.executor.results import Result
 from repro.executor.sort import ExternalSort, SpillPolicy
+from repro.obs.tracer import trace_op
 from repro.storage.btree import BPlusTree
 
 #: Per-entry bucket/pointer overhead of the hash join's build table.
@@ -98,12 +99,14 @@ class MergeJoinNode(PlanNode):
         # each input's size alone, so swapping the inputs swaps two
         # independent charges — the map stays symmetric even when one
         # side spills.
-        for side in (self.left, self.right):
-            ExternalSort(
-                ctx, row_bytes=self.row_bytes, policy=SpillPolicy.GRACEFUL
-            ).sort(side)
-        ctx.charge(self.left.size + self.right.size, ctx.profile.cpu_compare)
-        return _result_for(ctx, join_matches(self.left, self.right))
+        for which, side in (("left", self.left), ("right", self.right)):
+            with trace_op(ctx, f"merge-join:sort-{which}", "join"):
+                ExternalSort(
+                    ctx, row_bytes=self.row_bytes, policy=SpillPolicy.GRACEFUL
+                ).sort(side)
+        with trace_op(ctx, "merge-join:merge", "join"):
+            ctx.charge(self.left.size + self.right.size, ctx.profile.cpu_compare)
+            return _result_for(ctx, join_matches(self.left, self.right))
 
     def estimated_rows(self, est: dict) -> float:
         return _estimate(est, "rows.out")
@@ -152,13 +155,17 @@ class HashJoinNode(PlanNode):
         n_probe = int(self.probe.size)
         grant = ctx.broker.try_grant(n_build * self.entry_bytes)
         if grant is None:
-            self._partitioned_join(ctx, n_build, n_probe)
+            with trace_op(ctx, "hash-join:partition-spill", "join"):
+                self._partitioned_join(ctx, n_build, n_probe)
         else:
             try:
-                # Build pays double hashing (insert + bucket maintenance).
-                ctx.charge_many(
-                    (n_build, n_probe), (2 * profile.cpu_hash, profile.cpu_hash)
-                )
+                with trace_op(ctx, "hash-join:build-probe", "join"):
+                    # Build pays double hashing (insert + bucket
+                    # maintenance).
+                    ctx.charge_many(
+                        (n_build, n_probe),
+                        (2 * profile.cpu_hash, profile.cpu_hash),
+                    )
             finally:
                 grant.release()
         return _result_for(ctx, join_matches(self.build, self.probe))
@@ -265,23 +272,27 @@ class IndexNestedLoopJoinNode(PlanNode):
         return self._tree
 
     def execute(self, ctx: ExecContext) -> Result:
+        # Building the index is uncharged DDL, so it stays outside the
+        # probe span.
         tree = self._index_for(ctx)
-        ctx.charge(self.probe.size, ctx.profile.cpu_row)
-        if batching.batched_enabled():
-            # probe_many preserves the stride-boundary budget checks of
-            # the reference loop (exact clock at every boundary), so even
-            # censored runs abort at the same probe in both modes.
-            tree.probe_many(
-                self.probe,
-                budget_check=lambda done: ctx.check_budget_every(
-                    done, _PROBE_BUDGET_STRIDE
-                ),
-                budget_stride=_PROBE_BUDGET_STRIDE,
-            )
-        else:
-            for done, key in enumerate(self.probe.tolist()):
-                tree.probe(int(key))
-                ctx.check_budget_every(done, _PROBE_BUDGET_STRIDE)
+        with trace_op(ctx, "btree-probe", "index"):
+            ctx.charge(self.probe.size, ctx.profile.cpu_row)
+            if batching.batched_enabled():
+                # probe_many preserves the stride-boundary budget checks
+                # of the reference loop (exact clock at every boundary),
+                # so even censored runs abort at the same probe in both
+                # modes.
+                tree.probe_many(
+                    self.probe,
+                    budget_check=lambda done: ctx.check_budget_every(
+                        done, _PROBE_BUDGET_STRIDE
+                    ),
+                    budget_stride=_PROBE_BUDGET_STRIDE,
+                )
+            else:
+                for done, key in enumerate(self.probe.tolist()):
+                    tree.probe(int(key))
+                    ctx.check_budget_every(done, _PROBE_BUDGET_STRIDE)
         return _result_for(ctx, join_matches(self.build, self.probe))
 
     def estimated_rows(self, est: dict) -> float:

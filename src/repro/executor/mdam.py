@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import PlanError
 from repro.executor.context import ExecContext
 from repro.executor.results import Result
+from repro.obs.tracer import trace_op
 from repro.storage.codec import CompositeKeyCodec
 from repro.storage.table import SecondaryIndex
 
@@ -45,6 +46,16 @@ def mdam_scan(
     trailing_range: tuple[int, int],
 ) -> Result:
     """Execute an MDAM scan over a two-column composite index."""
+    with trace_op(ctx, "mdam-scan", "index"):
+        return _mdam_scan(ctx, index, leading_range, trailing_range)
+
+
+def _mdam_scan(
+    ctx: ExecContext,
+    index: SecondaryIndex,
+    leading_range: tuple[int, int],
+    trailing_range: tuple[int, int],
+) -> Result:
     codec = index.codec
     if not isinstance(codec, CompositeKeyCodec) or codec.n_columns != 2:
         raise PlanError("MDAM requires a two-column composite index")

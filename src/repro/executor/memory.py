@@ -44,6 +44,11 @@ class MemoryBroker:
             raise MemoryGrantError(f"memory limit must be positive, got {limit_bytes}")
         self.limit_bytes = limit_bytes
         self._in_use = 0
+        # Cumulative observability counters (never reset, never consulted
+        # by granting decisions — pure telemetry for span deltas).
+        self.granted_bytes = 0
+        self.grants = 0
+        self.denials = 0
 
     @property
     def in_use_bytes(self) -> int:
@@ -62,16 +67,20 @@ class MemoryBroker:
         if n_bytes < 0:
             raise MemoryGrantError(f"cannot grant negative bytes {n_bytes}")
         if n_bytes > self.available_bytes:
+            self.denials += 1
             raise MemoryGrantError(
                 f"grant of {n_bytes} bytes exceeds available "
                 f"{self.available_bytes} of {self.limit_bytes}"
             )
         self._in_use += n_bytes
+        self.granted_bytes += n_bytes
+        self.grants += 1
         return MemoryGrant(self, n_bytes)
 
     def try_grant(self, n_bytes: int) -> MemoryGrant | None:
         """Like :meth:`grant` but returns None instead of raising."""
         if not self.fits(n_bytes):
+            self.denials += 1
             return None
         return self.grant(n_bytes)
 

@@ -38,6 +38,7 @@ from repro.executor.mdam import mdam_scan
 from repro.executor.predicates import ColumnRange, apply_predicates
 from repro.executor.results import Result
 from repro.executor.sort import ExternalSort, SpillPolicy
+from repro.obs.tracer import trace_op
 from repro.sim.disk import DiskStats
 from repro.storage.codec import CompositeKeyCodec
 from repro.storage.env import StorageEnv
@@ -112,24 +113,25 @@ class TableScanNode(PlanNode):
     def execute(self, ctx: ExecContext) -> Result:
         if batching.batched_enabled():
             return self._execute_batched(ctx)
-        table = self.table
-        profile = ctx.profile
-        _keys, columns = table.clustered.scan_all(charge=True)
-        n_rows = table.n_rows
-        ctx.charge(n_rows, profile.cpu_row)
-        if self.predicates:
-            ctx.charge(n_rows * len(self.predicates), profile.cpu_predicate)
-            mask = apply_predicates(columns, self.predicates)
-            rids = np.flatnonzero(mask).astype(np.int64)
-        else:
-            rids = np.arange(n_rows, dtype=np.int64)
-        needed = dict.fromkeys(
-            self.project + [p.column for p in self.predicates]
-        )
-        out = {name: columns[name][rids] for name in needed}
-        ctx.charge(rids.size, profile.cpu_row)
-        ctx.check_budget()
-        return Result(rids, out)
+        with trace_op(ctx, "table-scan", "scan"):
+            table = self.table
+            profile = ctx.profile
+            _keys, columns = table.clustered.scan_all(charge=True)
+            n_rows = table.n_rows
+            ctx.charge(n_rows, profile.cpu_row)
+            if self.predicates:
+                ctx.charge(n_rows * len(self.predicates), profile.cpu_predicate)
+                mask = apply_predicates(columns, self.predicates)
+                rids = np.flatnonzero(mask).astype(np.int64)
+            else:
+                rids = np.arange(n_rows, dtype=np.int64)
+            needed = dict.fromkeys(
+                self.project + [p.column for p in self.predicates]
+            )
+            out = {name: columns[name][rids] for name in needed}
+            ctx.charge(rids.size, profile.cpu_row)
+            ctx.check_budget()
+            return Result(rids, out)
 
     def _execute_batched(self, ctx: ExecContext) -> Result:
         """Charge-identical scan that defers row materialization.
@@ -143,45 +145,46 @@ class TableScanNode(PlanNode):
         """
         table = self.table
         profile = ctx.profile
-        _keys, columns = table.clustered.scan_all(charge=True)
-        n_rows = table.n_rows
-        ctx.charge(n_rows, profile.cpu_row)
-        predicates = self.predicates
-        mask: np.ndarray | None = None
-        if predicates:
-            ctx.charge(n_rows * len(predicates), profile.cpu_predicate)
-            if len(predicates) == 1:
-                predicate = predicates[0]
-                ordered = table.sorted_column(predicate.column)
-                count = int(
-                    np.searchsorted(ordered, predicate.hi, side="right")
-                    - np.searchsorted(ordered, predicate.lo, side="left")
-                )
+        with trace_op(ctx, "table-scan", "scan"):
+            _keys, columns = table.clustered.scan_all(charge=True)
+            n_rows = table.n_rows
+            ctx.charge(n_rows, profile.cpu_row)
+            predicates = self.predicates
+            mask: np.ndarray | None = None
+            if predicates:
+                ctx.charge(n_rows * len(predicates), profile.cpu_predicate)
+                if len(predicates) == 1:
+                    predicate = predicates[0]
+                    ordered = table.sorted_column(predicate.column)
+                    count = int(
+                        np.searchsorted(ordered, predicate.hi, side="right")
+                        - np.searchsorted(ordered, predicate.lo, side="left")
+                    )
+                else:
+                    mask = apply_predicates(columns, predicates)
+                    count = int(np.count_nonzero(mask))
             else:
-                mask = apply_predicates(columns, predicates)
-                count = int(np.count_nonzero(mask))
-        else:
-            count = n_rows
+                count = n_rows
 
-        def rids_fn() -> np.ndarray:
-            if not predicates:
-                return np.arange(n_rows, dtype=np.int64)
-            qualifying = mask
-            if qualifying is None:
-                qualifying = apply_predicates(columns, predicates)
-            return np.flatnonzero(qualifying).astype(np.int64)
+            def rids_fn() -> np.ndarray:
+                if not predicates:
+                    return np.arange(n_rows, dtype=np.int64)
+                qualifying = mask
+                if qualifying is None:
+                    qualifying = apply_predicates(columns, predicates)
+                return np.flatnonzero(qualifying).astype(np.int64)
 
-        def columns_fn() -> dict[str, np.ndarray]:
-            rids = result.rids
-            needed = dict.fromkeys(
-                self.project + [p.column for p in predicates]
-            )
-            return {name: columns[name][rids] for name in needed}
+            def columns_fn() -> dict[str, np.ndarray]:
+                rids = result.rids
+                needed = dict.fromkeys(
+                    self.project + [p.column for p in predicates]
+                )
+                return {name: columns[name][rids] for name in needed}
 
-        result = Result.deferred(count, rids_fn, columns_fn)
-        ctx.charge(count, profile.cpu_row)
-        ctx.check_budget()
-        return result
+            result = Result.deferred(count, rids_fn, columns_fn)
+            ctx.charge(count, profile.cpu_row)
+            ctx.check_budget()
+            return result
 
     def estimated_rows(self, est: dict) -> float:
         if not self.predicates:
@@ -220,18 +223,19 @@ class IndexRangeRidsNode(PlanNode):
         self.label = f"IndexRangeScan({index.name}; {predicate})"
 
     def execute(self, ctx: ExecContext) -> Result:
-        key_range = self.index.key_range_for(
-            {self.predicate.column: self.predicate.as_tuple()}
-        )
-        if key_range is None:
-            return Result.empty()
-        keys, rids = self.index.read_range(*key_range, charge=True)
-        ctx.charge(keys.size, ctx.profile.cpu_bitmap_op)
-        ctx.check_budget()
-        return Result(
-            np.asarray(rids, dtype=np.int64),
-            {self.predicate.column: np.asarray(keys, dtype=np.int64)},
-        )
+        with trace_op(ctx, "index-range-scan", "index"):
+            key_range = self.index.key_range_for(
+                {self.predicate.column: self.predicate.as_tuple()}
+            )
+            if key_range is None:
+                return Result.empty()
+            keys, rids = self.index.read_range(*key_range, charge=True)
+            ctx.charge(keys.size, ctx.profile.cpu_bitmap_op)
+            ctx.check_budget()
+            return Result(
+                np.asarray(rids, dtype=np.int64),
+                {self.predicate.column: np.asarray(keys, dtype=np.int64)},
+            )
 
     def estimated_rows(self, est: dict) -> float:
         return _estimate(est, f"rows.{self.predicate.column}")
@@ -273,6 +277,10 @@ class CompositeRangeRidsNode(PlanNode):
         )
 
     def execute(self, ctx: ExecContext) -> Result:
+        with trace_op(ctx, "composite-range-scan", "index"):
+            return self._execute_traced(ctx)
+
+    def _execute_traced(self, ctx: ExecContext) -> Result:
         index = self.index
         codec: CompositeKeyCodec = index.codec  # type: ignore[assignment]
         maxima = tuple((1 << b) - 1 for b in codec.bits)
@@ -350,27 +358,29 @@ class FetchNode(PlanNode):
         child_result = self.child.execute(ctx)
         if child_result.n_rows == 0:
             return child_result
-        if self.verify_only:
-            fetched = self.strategy.fetch(
-                ctx, self.table, child_result.rids, columns=[], residual=[]
+        with trace_op(ctx, f"fetch:{self.strategy.name}", "fetch"):
+            if self.verify_only:
+                fetched = self.strategy.fetch(
+                    ctx, self.table, child_result.rids, columns=[], residual=[]
+                )
+                # Visibility verification keeps the child's (index) columns
+                # but the rid order of the fetch.
+                order = np.argsort(child_result.rids, kind="stable")
+                sorted_child_rids = child_result.rids[order]
+                if not np.array_equal(np.sort(fetched.rids), sorted_child_rids):
+                    raise PlanError("verify-only fetch changed the rid set")
+                columns = {
+                    name: values[order]
+                    for name, values in child_result.columns.items()
+                }
+                return Result(sorted_child_rids, columns)
+            return self.strategy.fetch(
+                ctx,
+                self.table,
+                child_result.rids,
+                columns=self.project,
+                residual=self.residual,
             )
-            # Visibility verification keeps the child's (index) columns but
-            # the rid order of the fetch.
-            order = np.argsort(child_result.rids, kind="stable")
-            sorted_child_rids = child_result.rids[order]
-            if not np.array_equal(np.sort(fetched.rids), sorted_child_rids):
-                raise PlanError("verify-only fetch changed the rid set")
-            columns = {
-                name: values[order] for name, values in child_result.columns.items()
-            }
-            return Result(sorted_child_rids, columns)
-        return self.strategy.fetch(
-            ctx,
-            self.table,
-            child_result.rids,
-            columns=self.project,
-            residual=self.residual,
-        )
 
     def estimated_rows(self, est: dict) -> float:
         if self.verify_only or not self.residual:
@@ -410,17 +420,18 @@ def _sort_rids_charged(
     ctx: ExecContext, rids: np.ndarray, payload_bytes_per_row: int = 16
 ) -> np.ndarray:
     """Sort a rid array, charging CPU and spilling if memory is tight."""
-    n_bytes = rids.size * payload_bytes_per_row
-    grant = ctx.broker.try_grant(n_bytes)
-    ctx.charge_sort_cpu(rids.size)
-    if grant is None:
-        # Workspace overflow: write the run out and read it back (one
-        # round trip) — a single extra pass, charged sequentially.
-        spill = ctx.temp.write_run(rids.size, payload_bytes_per_row)
-        ctx.temp.read_run_fully(spill)
-    else:
-        grant.release()
-    return np.sort(rids)
+    with trace_op(ctx, "rid-sort", "sort"):
+        n_bytes = rids.size * payload_bytes_per_row
+        grant = ctx.broker.try_grant(n_bytes)
+        ctx.charge_sort_cpu(rids.size)
+        if grant is None:
+            # Workspace overflow: write the run out and read it back (one
+            # round trip) — a single extra pass, charged sequentially.
+            spill = ctx.temp.write_run(rids.size, payload_bytes_per_row)
+            ctx.temp.read_run_fully(spill)
+        else:
+            grant.release()
+        return np.sort(rids)
 
 
 class RidIntersectNode(PlanNode):
@@ -455,6 +466,10 @@ class RidIntersectNode(PlanNode):
     def execute(self, ctx: ExecContext) -> Result:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
+        with trace_op(ctx, f"rid-intersect:{self.algorithm}", "join"):
+            return self._intersect(ctx, left, right)
+
+    def _intersect(self, ctx: ExecContext, left: Result, right: Result) -> Result:
         profile = ctx.profile
         if self.algorithm == "merge":
             left_sorted = _sort_rids_charged(ctx, left.rids)
@@ -634,6 +649,10 @@ class CoveringRidJoinNode(PlanNode):
 
     def execute(self, ctx: ExecContext) -> Result:
         child = self.child.execute(ctx)
+        with trace_op(ctx, f"covering-rid-join:{self.algorithm}", "join"):
+            return self._join(ctx, child)
+
+    def _join(self, ctx: ExecContext, child: Result) -> Result:
         profile = ctx.profile
         value_keys, value_rids = self.value_index.scan_all(charge=True)
         n_index = value_keys.size
@@ -713,10 +732,11 @@ class ExternalSortNode(PlanNode):
         )
 
     def execute(self, ctx: ExecContext) -> Result:
-        sorted_result = ExternalSort(
-            ctx, row_bytes=self.row_bytes, policy=self.policy
-        ).sort(self.values)
-        ctx.check_budget()
+        with trace_op(ctx, "external-sort", "sort"):
+            sorted_result = ExternalSort(
+                ctx, row_bytes=self.row_bytes, policy=self.policy
+            ).sort(self.values)
+            ctx.check_budget()
         n_rows = int(self.values.size)
         if batching.batched_enabled():
             # All charges happened above; defer the real np.sort payload.
@@ -835,7 +855,12 @@ class PlanRunner:
         result: Result | None = None
         with self.env.stopwatch() as watch:
             try:
-                result = plan.execute(ctx)
+                # Root span: covers the whole measurement, so node spans
+                # nest under it and its self-time is the uninstrumented
+                # remainder.  A budget abort unwinds through the open
+                # spans, closing each at the abort's clock value.
+                with trace_op(ctx, "execute", "plan"):
+                    result = plan.execute(ctx)
             except CostBudgetExceeded:
                 aborted = True
         io_delta = self.env.disk.stats.delta(before)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.executor import batching
 from repro.executor.context import ExecContext
+from repro.obs.tracer import trace_op
 
 
 class SpillPolicy(Enum):
@@ -128,43 +129,47 @@ class ExternalSort:
         )
         grant = ctx.broker.grant(workspace_bytes)
         try:
-            # Run generation: sort each memory-full and write it out.
-            n_runs = max(1, math.ceil(spilled_rows / memory_rows))
-            runs = []
-            remaining = spilled_rows
-            for _ in range(n_runs):
-                run_rows = min(memory_rows, remaining)
-                remaining -= run_rows
-                ctx.charge_sort_cpu(run_rows)
-                runs.append(ctx.temp.write_run(run_rows, self.row_bytes))
-            # The in-memory portion (graceful only) is sorted as its own run.
-            in_memory_rows = n_rows - spilled_rows
-            if in_memory_rows:
-                ctx.charge_sort_cpu(in_memory_rows)
-            # Merge: stream every spilled run back (alternating between runs
-            # costs positioning per switch) and merge-compare all rows.
-            merge_ways = n_runs + (1 if in_memory_rows else 0)
-            page_quantum = max(1, memory_rows // max(1, merge_ways) // 64)
-            active = [run for run in runs]
-            for run in active:
-                run.reset()
-            if batching.batched_enabled():
-                # The whole round-robin read schedule is deterministic, so
-                # it is charged in one vectorized step; the per-round
-                # budget checks compact to one final check (equivalent
-                # under the budget-censoring contract).
-                ctx.temp.merge_read_all(active, page_quantum)
-                ctx.check_budget()
-            else:
-                while any(run.pages_remaining for run in active):
-                    for run in active:
-                        if run.pages_remaining:
-                            ctx.temp.read_pages(run, page_quantum)
+            with trace_op(ctx, "sort:run-generation", "sort"):
+                # Run generation: sort each memory-full and write it out.
+                n_runs = max(1, math.ceil(spilled_rows / memory_rows))
+                runs = []
+                remaining = spilled_rows
+                for _ in range(n_runs):
+                    run_rows = min(memory_rows, remaining)
+                    remaining -= run_rows
+                    ctx.charge_sort_cpu(run_rows)
+                    runs.append(ctx.temp.write_run(run_rows, self.row_bytes))
+                # The in-memory portion (graceful only) is sorted as its
+                # own run.
+                in_memory_rows = n_rows - spilled_rows
+                if in_memory_rows:
+                    ctx.charge_sort_cpu(in_memory_rows)
+            with trace_op(ctx, "sort:merge", "sort"):
+                # Merge: stream every spilled run back (alternating between
+                # runs costs positioning per switch) and merge-compare all
+                # rows.
+                merge_ways = n_runs + (1 if in_memory_rows else 0)
+                page_quantum = max(1, memory_rows // max(1, merge_ways) // 64)
+                active = [run for run in runs]
+                for run in active:
+                    run.reset()
+                if batching.batched_enabled():
+                    # The whole round-robin read schedule is deterministic,
+                    # so it is charged in one vectorized step; the
+                    # per-round budget checks compact to one final check
+                    # (equivalent under the budget-censoring contract).
+                    ctx.temp.merge_read_all(active, page_quantum)
                     ctx.check_budget()
-            if merge_ways > 1:
-                comparisons = n_rows * math.log2(merge_ways)
-                ctx.clock.advance(comparisons * ctx.profile.cpu_compare)
-            ctx.check_budget()
+                else:
+                    while any(run.pages_remaining for run in active):
+                        for run in active:
+                            if run.pages_remaining:
+                                ctx.temp.read_pages(run, page_quantum)
+                        ctx.check_budget()
+                if merge_ways > 1:
+                    comparisons = n_rows * math.log2(merge_ways)
+                    ctx.clock.advance(comparisons * ctx.profile.cpu_compare)
+                ctx.check_budget()
         finally:
             grant.release()
         return n_runs

@@ -9,6 +9,9 @@ A thin, dependency-free (``http.server``) JSON API over
   shapes and cell counts under the service's base config, and the
   overridable knobs with their defaults.
 * ``GET  /stats``               — job/queue/cache counters.
+* ``GET  /metrics``             — the manager's metrics plane in the
+  Prometheus text format (queue depth, in-flight jobs, dedup fan-in,
+  rejections by reason, cache hit counters, job latency histogram).
 * ``POST /maps``                — submit a map request
   (``{"scenario": ..., "overrides": {...}}``).  Always answers 202 with
   the job id; ``"created": false`` marks a single-flight/duplicate hit.
@@ -23,6 +26,10 @@ A thin, dependency-free (``http.server``) JSON API over
   500 when the job failed).
 * ``GET  /jobs/<id>/choice``    — choice/regret maps per optimizer
   policy (estimation-scenario jobs only).
+* ``GET  /jobs/<id>/profile``   — the finished job's per-cell execution
+  profiles; ``?format=chrome`` exports Chrome trace-event JSON
+  (viewable at ui.perfetto.dev).  Empty unless the job ran with the
+  ``trace`` knob (or ``REPRO_TRACE``) on.
 * ``GET  /jobs/<id>/render/<plan>.svg|.png`` — the finished map rendered
   by the viz layer (heat map for 2-D, curves for 1-D).
 
@@ -47,8 +54,12 @@ from repro.bench.requests import (
 )
 from repro.core.mapdata import MapData
 from repro.errors import ExperimentError, VisualizationError
+from repro.obs.logs import get_logger, setup_logging
+from repro.obs.profile import CellProfile, chrome_trace
 from repro.service.jobs import Job, JobManager, RejectedRequest
 from repro.viz.render import render_map
+
+logger = get_logger("service.http")
 
 MAX_BODY_BYTES = 1 << 20
 """Request bodies past 1 MiB are refused (map requests are tiny)."""
@@ -99,7 +110,7 @@ class MapServiceHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
-            super().log_message(format, *args)
+            logger.info("%s %s", self.address_string(), format % args)
 
     def _send_json(self, code: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -160,11 +171,13 @@ class MapServiceHandler(BaseHTTPRequestHandler):
                             "GET /healthz",
                             "GET /scenarios",
                             "GET /stats",
+                            "GET /metrics",
                             "POST /maps",
                             "GET /jobs/<id>[?wait=seconds]",
                             "GET /jobs/<id>/partial",
                             "GET /jobs/<id>/result",
                             "GET /jobs/<id>/choice",
+                            "GET /jobs/<id>/profile[?format=chrome]",
                             "GET /jobs/<id>/render/<plan>.svg|.png",
                         ],
                     },
@@ -175,6 +188,12 @@ class MapServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, _scenario_listing(self.manager.config))
             elif parts == ["stats"]:
                 self._send_json(200, self.manager.stats())
+            elif parts == ["metrics"]:
+                self._send_bytes(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.manager.metrics.render().encode("utf-8"),
+                )
             elif parts[0] == "jobs" and len(parts) >= 2:
                 self._get_job(parts[1], parts[2:], query)
             else:
@@ -224,6 +243,9 @@ class MapServiceHandler(BaseHTTPRequestHandler):
         if rest == ["choice"]:
             self._get_choice(job, job_id)
             return
+        if rest == ["profile"]:
+            self._get_profile(job, job_id, query)
+            return
         if len(rest) == 2 and rest[0] == "render":
             self._get_render(job, job_id, rest[1])
             return
@@ -250,6 +272,32 @@ class MapServiceHandler(BaseHTTPRequestHandler):
                 "policies": {
                     name: choice.to_dict() for name, choice in choices.items()
                 },
+            },
+        )
+
+    def _get_profile(self, job: Job, job_id: str, query: dict) -> None:
+        profiles = self.manager.profiles(job)
+        if profiles is None:
+            self._error(
+                409, f"job {job_id!r} is {job.state}; poll /jobs/{job_id}"
+            )
+            return
+        fmt = (query.get("format") or ["raw"])[0]
+        if fmt == "chrome":
+            trace = chrome_trace(
+                CellProfile.from_dict(data) for data in profiles.values()
+            )
+            self._send_json(200, trace)
+            return
+        if fmt != "raw":
+            self._error(400, f"unknown profile format {fmt!r} (raw|chrome)")
+            return
+        self._send_json(
+            200,
+            {
+                "job": self.manager.status(job),
+                "profiles": profiles,
+                "traced": bool(profiles),
             },
         )
 
@@ -321,9 +369,12 @@ def serve(
     quiet: bool = False,
 ) -> None:
     """Run the map service until interrupted (the CLI's ``serve``)."""
+    setup_logging()
     server = build_server(manager, host=host, port=port, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
-    print(f"map service listening on http://{bound_host}:{bound_port}")
+    logger.info(
+        "map service listening on http://%s:%s", bound_host, bound_port
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

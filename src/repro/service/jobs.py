@@ -39,9 +39,14 @@ from repro.bench.requests import MapRequest, definition_for
 from repro.core.mapdata import MapData
 from repro.core.progress import ProgressEvent
 from repro.errors import ExperimentError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PROFILES_META_KEY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
+
+logger = get_logger("service.jobs")
 
 
 class RejectedRequest(ExperimentError):
@@ -107,6 +112,58 @@ class JobManager:
         self._jobs: dict[str, Job] = {}
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._closed = False
+        # Per-manager metrics plane (rendered by GET /metrics).  A fresh
+        # registry per manager keeps tests and embedded services from
+        # sharing counters through the module-level default.
+        self.metrics = MetricsRegistry()
+        self._m_submitted = self.metrics.counter(
+            "repro_jobs_submitted_total",
+            "Map requests accepted into a new job.",
+        )
+        self._m_deduped = self.metrics.counter(
+            "repro_jobs_deduplicated_total",
+            "Submissions answered by an existing job (single-flight fan-in).",
+        )
+        self._m_rejected = self.metrics.counter(
+            "repro_jobs_rejected_total",
+            "Submissions refused, by reason.",
+        )
+        self._m_completed = self.metrics.counter(
+            "repro_jobs_completed_total",
+            "Jobs finished, by terminal state.",
+        )
+        self._m_map_cache_hits = self.metrics.counter(
+            "repro_jobs_map_cache_hits_total",
+            "Jobs answered by the whole-map disk cache (no sweep ran).",
+        )
+        self._m_cell_hits = self.metrics.counter(
+            "repro_cell_store_hits_total",
+            "Sweep cells answered by the content-addressed cell store.",
+        )
+        self._m_cells_done = self.metrics.counter(
+            "repro_cells_completed_total",
+            "Sweep cells finished (measured or replayed) across all jobs.",
+        )
+        self._m_in_flight = self.metrics.gauge(
+            "repro_jobs_in_flight",
+            "Jobs currently running on the worker pool.",
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_job_seconds",
+            "Wall-clock seconds from job start to completion.",
+        )
+        self.metrics.gauge(
+            "repro_queue_depth",
+            "Jobs waiting in the bounded submission queue.",
+        ).set_function(self._queue.qsize)
+        self.metrics.gauge(
+            "repro_queue_limit",
+            "Capacity of the bounded submission queue.",
+        ).set(queue_limit)
+        self.metrics.gauge(
+            "repro_workers",
+            "Worker threads draining the job queue.",
+        ).set(workers)
         self._threads = [
             threading.Thread(
                 target=self._worker, daemon=True, name=f"map-worker-{i}"
@@ -145,6 +202,7 @@ class JobManager:
         """
         cells = self._required_cells(request)  # also validates the request
         if self.cell_budget is not None and cells > self.cell_budget:
+            self._m_rejected.inc(reason="cell_budget")
             raise RejectedRequest(
                 f"request would measure {cells} cells, over the service "
                 f"budget of {self.cell_budget}; shrink the grid or set "
@@ -153,9 +211,11 @@ class JobManager:
         job_id = request.fingerprint(self.config)
         with self._cond:
             if self._closed:
+                self._m_rejected.inc(reason="shutting_down")
                 raise RejectedRequest("service is shutting down")
             existing = self._jobs.get(job_id)
             if existing is not None and existing.state != "failed":
+                self._m_deduped.inc()
                 return existing, False
             job = Job(job_id=job_id, request=request, total=cells)
             self._jobs[job_id] = job
@@ -167,10 +227,12 @@ class JobManager:
                     self._jobs[job_id] = existing
                 else:
                     del self._jobs[job_id]
+                self._m_rejected.inc(reason="queue_full")
                 raise RejectedRequest(
                     f"job queue is full ({self._queue.maxsize} pending); "
                     "retry after running jobs finish"
                 ) from None
+            self._m_submitted.inc()
             self._cond.notify_all()
             return job, True
 
@@ -199,6 +261,7 @@ class JobManager:
                 job.state = "running"
                 job.started = time.time()
                 self._cond.notify_all()
+            self._m_in_flight.inc()
             try:
                 definition = definition_for(job.request.scenario)
                 session = BenchSession(
@@ -217,6 +280,10 @@ class JobManager:
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.finished = time.time()
                     self._cond.notify_all()
+                logger.warning(
+                    "job %s failed: %s", job.job_id, job.error,
+                    extra={"fields": {"job_id": job.job_id}},
+                )
             else:
                 with self._cond:
                     job.result = result
@@ -227,6 +294,23 @@ class JobManager:
                     job.state = "done"
                     job.finished = time.time()
                     self._cond.notify_all()
+            finally:
+                self._m_in_flight.dec()
+                with self._cond:
+                    state = job.state
+                    elapsed = (job.finished or time.time()) - (
+                        job.started or job.created
+                    )
+                    done, cell_hits = job.done, job.cache_hits
+                    cache_hit = job.cache_hit
+                self._m_completed.inc(state=state)
+                self._m_latency.observe(max(0.0, elapsed))
+                if state == "done":
+                    self._m_cells_done.inc(done)
+                    if cell_hits:
+                        self._m_cell_hits.inc(cell_hits)
+                    if cache_hit:
+                        self._m_map_cache_hits.inc()
 
     # ------------------------------------------------------------------
     # observation
@@ -271,6 +355,19 @@ class JobManager:
                 "elapsed": max(0.0, end - start),
                 "error": job.error,
             }
+
+    def profiles(self, job: Job) -> dict | None:
+        """A finished job's per-cell execution profiles (None until done).
+
+        The raw ``meta["profiles"]`` mapping (see :mod:`repro.obs.profile`);
+        empty when the job ran without tracing (``trace`` knob off) or
+        the map came from the whole-map disk cache, which never stores
+        profiles.
+        """
+        with self._cond:
+            if job.result is None:
+                return None
+            return dict(job.result.meta.get(PROFILES_META_KEY, {}))
 
     def partial_map(self, job: Job) -> tuple[MapData | None, bool]:
         """The freshest view of a job's map: ``(mapdata, partial)``.

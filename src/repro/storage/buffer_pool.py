@@ -52,6 +52,18 @@ class PoolStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def snapshot(self) -> "PoolStats":
+        """Return an independent copy of the current counters."""
+        return PoolStats(hits=self.hits, misses=self.misses, evictions=self.evictions)
+
+    def delta(self, earlier: "PoolStats") -> "PoolStats":
+        """Return counters accumulated since ``earlier`` was snapshot."""
+        return PoolStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
 
 @dataclass
 class PlannedAccesses:

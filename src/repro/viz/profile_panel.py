@@ -1,0 +1,118 @@
+"""Stacked time-breakdown panel for captured cell profiles.
+
+The robustness map answers *which* cells are slow; a profile panel
+answers *where* each one's virtual time went.  Every row is one
+``(plan, cell)`` profile rendered as a horizontal bar stacked by
+operator self-time (exclusive seconds, so segments tile the bar with no
+double counting), colored from a stable operator -> color assignment
+shared across rows so the same operator reads as the same hue
+everywhere in the panel.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import VisualizationError
+from repro.obs.profile import CellProfile
+from repro.viz.svg import SERIES_PALETTE, SvgDocument
+
+
+def _row_label(profile: CellProfile) -> str:
+    coords = ",".join(str(c) for c in profile.cell)
+    return f"{profile.plan_id} @ ({coords})"
+
+
+def profile_panel_svg(
+    profiles: Iterable[CellProfile],
+    title: str = "Per-cell time breakdown",
+    max_rows: int = 24,
+    width: int = 860,
+) -> str:
+    """Stacked-bar SVG of operator self-time for a set of profiles.
+
+    Rows are ordered slowest-first (by traced total) and truncated to
+    ``max_rows``; a truncation note replaces the dropped rows so a
+    clipped panel never masquerades as a complete one.
+    """
+    rows: list[tuple[CellProfile, dict[str, float], float]] = []
+    for profile in profiles:
+        breakdown = profile.operator_seconds(self_time=True)
+        rows.append((profile, breakdown, sum(breakdown.values())))
+    if not rows:
+        raise VisualizationError("profile panel needs at least one profile")
+    rows.sort(key=lambda row: row[2], reverse=True)
+    dropped = max(0, len(rows) - max_rows)
+    rows = rows[:max_rows]
+
+    # Stable operator -> color assignment: order of first appearance in
+    # the slowest-first row ordering, so the dominant operators claim
+    # the leading palette entries.
+    operators: list[str] = []
+    for _, breakdown, _ in rows:
+        for name in breakdown:
+            if name not in operators:
+                operators.append(name)
+    colors = {
+        name: SERIES_PALETTE[index % len(SERIES_PALETTE)]
+        for index, name in enumerate(operators)
+    }
+
+    margin_left, margin_top, margin_right = 250, 46, 24
+    row_h, row_gap = 18, 6
+    legend_rows = len(operators)
+    bars_h = len(rows) * (row_h + row_gap)
+    footer = 34 if dropped else 16
+    legend_h = 24 + legend_rows * 18
+    height = margin_top + bars_h + legend_h + footer
+    plot_w = width - margin_left - margin_right
+    scale = max(total for _, _, total in rows)
+    if scale <= 0.0:
+        scale = 1.0
+
+    doc = SvgDocument(width, height)
+    doc.text(width / 2, 24, title, size=15, anchor="middle")
+    for r_index, (profile, breakdown, total) in enumerate(rows):
+        y = margin_top + r_index * (row_h + row_gap)
+        label = _row_label(profile)
+        if profile.aborted:
+            label += " [aborted]"
+        doc.text(margin_left - 8, y + row_h - 5, label, size=10, anchor="end")
+        x = float(margin_left)
+        for name in operators:
+            seconds = breakdown.get(name, 0.0)
+            if seconds <= 0.0:
+                continue
+            w = plot_w * seconds / scale
+            doc.rect(x, y, w, row_h, colors[name], stroke=(255, 255, 255))
+            x += w
+        doc.text(x + 6, y + row_h - 5, f"{total:.3g}s", size=10)
+
+    legend_y = margin_top + bars_h + 18
+    doc.text(margin_left - 8, legend_y, "operator self-time", size=11, anchor="end")
+    for o_index, name in enumerate(operators):
+        y = legend_y + 8 + o_index * 18
+        doc.rect(margin_left, y, 12, 12, colors[name], stroke=(150, 150, 150))
+        doc.text(margin_left + 20, y + 10, name, size=11)
+    if dropped:
+        doc.text(
+            margin_left,
+            height - 12,
+            f"({dropped} faster profiles not shown)",
+            size=10,
+        )
+    return doc.to_string()
+
+
+def save_profile_panel(
+    path: str | Path,
+    profiles: Iterable[CellProfile],
+    title: str = "Per-cell time breakdown",
+    max_rows: int = 24,
+) -> Path:
+    """Write :func:`profile_panel_svg` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(profile_panel_svg(profiles, title=title, max_rows=max_rows))
+    return path

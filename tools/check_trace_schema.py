@@ -1,0 +1,116 @@
+"""Validate a Chrome trace-event JSON export (Perfetto-viewable).
+
+Checks the shape :func:`repro.obs.profile.chrome_trace` promises: a
+top-level ``traceEvents`` list plus ``displayTimeUnit``, every event a
+complete-duration (``ph: "X"``) or metadata (``ph: "M"``) record with
+the fields Perfetto and ``chrome://tracing`` require.  CI runs this
+against the trace artifact a traced sweep produces, so a schema drift
+in the exporter fails loudly instead of silently producing files the
+viewers reject.
+
+Usage::
+
+    python tools/check_trace_schema.py trace.json [--min-events 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check_event(event: object, index: int) -> list[str]:
+    problems: list[str] = []
+
+    def bad(message: str) -> None:
+        problems.append(f"traceEvents[{index}]: {message}")
+
+    if not isinstance(event, dict):
+        bad(f"not an object: {event!r}")
+        return problems
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        bad("missing or empty 'name'")
+    phase = event.get("ph")
+    if phase not in ("X", "M"):
+        bad(f"unexpected phase {phase!r} (exporter emits only X and M)")
+        return problems
+    if not isinstance(event.get("pid"), int) or event["pid"] < 1:
+        bad("'pid' must be a positive integer")
+    if phase == "M":
+        args = event.get("args")
+        if not isinstance(args, dict) or "name" not in args:
+            bad("metadata event needs args.name")
+        return problems
+    if not isinstance(event.get("tid"), int) or event["tid"] < 1:
+        bad("'tid' must be a positive integer")
+    for field in ("ts", "dur"):
+        value = event.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            bad(f"'{field}' must be a non-negative number, got {value!r}")
+    if "cat" in event and not isinstance(event["cat"], str):
+        bad("'cat' must be a string")
+    args = event.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            bad("'args' must be an object")
+        elif not all(isinstance(v, int) for v in args.values()):
+            bad("span args carry integer counter deltas only")
+    return problems
+
+
+def check_trace(data: object, min_events: int) -> list[str]:
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    problems: list[str] = []
+    if data.get("displayTimeUnit") != "ms":
+        problems.append("displayTimeUnit must be 'ms'")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents must be a list"]
+    durations = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    if len(durations) < min_events:
+        problems.append(
+            f"expected at least {min_events} duration event(s), "
+            f"found {len(durations)} (was the sweep actually traced?)"
+        )
+    for index, event in enumerate(events):
+        problems.extend(check_event(event, index))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path)
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of ph=X duration events (default 1)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        data = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 1
+    problems = check_trace(data, args.min_events)
+    for problem in problems[:20]:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if len(problems) > 20:
+        print(f"... and {len(problems) - 20} more", file=sys.stderr)
+    if problems:
+        return 1
+    events = data["traceEvents"]
+    n_spans = sum(1 for e in events if e.get("ph") == "X")
+    n_meta = len(events) - n_spans
+    print(
+        f"{args.trace}: valid Chrome trace "
+        f"({n_spans} spans, {n_meta} metadata events)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
